@@ -1,0 +1,278 @@
+// Benchmarks mirroring the paper's evaluation (one per table/figure) as
+// testing.B micro-benchmarks. They exercise the same code paths as
+// cmd/benchrunner but at fixed, bench-friendly sizes so `go test
+// -bench=.` finishes quickly; run `go run ./cmd/benchrunner -full` for
+// the paper's complete grid with wall-clock numbers.
+package pcqe
+
+import (
+	"testing"
+
+	"pcqe/internal/lineage"
+	"pcqe/internal/strategy"
+	"pcqe/internal/workload"
+)
+
+// genInstance builds a Table 4 workload for benchmarks.
+func genInstance(b *testing.B, size, perResult int, seed int64) *strategy.Instance {
+	b.Helper()
+	in, err := workload.Generate(workload.Params{
+		DataSize:        size,
+		TuplesPerResult: perResult,
+		Delta:           0.1,
+		Theta:           0.5,
+		Beta:            0.6,
+		Seed:            seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// tiny builds the Figure 11(a)/(d) instance: 10 tuples, need 3 of 6.
+// Initial confidences 0.3–0.5 keep the exhaustive Naive baseline in
+// bench-friendly territory (see internal/bench.tinyInstance for the
+// same calibration note).
+func tiny(b *testing.B, seed int64) *strategy.Instance {
+	b.Helper()
+	in, err := workload.Generate(workload.Params{
+		DataSize: 10, TuplesPerResult: 5, Delta: 0.1,
+		Theta: 0.5, Beta: 0.6, Results: 6,
+		ConfLo: 0.3, ConfHi: 0.5, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.Need = 3
+	return in
+}
+
+func solveB(b *testing.B, s strategy.Solver, mk func() *strategy.Instance) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(mk()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 11(a): heuristic variants without a greedy bound. ---
+
+func BenchmarkFig11aNaive(b *testing.B) {
+	solveB(b, &strategy.Heuristic{}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11aH1(b *testing.B) {
+	solveB(b, &strategy.Heuristic{UseH1: true}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11aH2(b *testing.B) {
+	solveB(b, &strategy.Heuristic{UseH2: true}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11aH3(b *testing.B) {
+	solveB(b, &strategy.Heuristic{UseH3: true}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11aH4(b *testing.B) {
+	solveB(b, &strategy.Heuristic{UseH4: true}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11aAll(b *testing.B) {
+	solveB(b, &strategy.Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true},
+		func() *strategy.Instance { return tiny(b, 1) })
+}
+
+// --- Figure 11(d): the same variants seeded with the greedy bound. ---
+
+func BenchmarkFig11dNaive(b *testing.B) {
+	solveB(b, &strategy.Heuristic{GreedyBound: true}, func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11dAll(b *testing.B) {
+	solveB(b, strategy.NewHeuristic(), func() *strategy.Instance { return tiny(b, 1) })
+}
+
+// --- Figure 11(b): greedy one-phase vs two-phase, response time. ---
+
+func BenchmarkFig11bOnePhase1K(b *testing.B) {
+	solveB(b, &strategy.Greedy{SkipRefinement: true},
+		func() *strategy.Instance { return genInstance(b, 1000, 5, 1) })
+}
+
+func BenchmarkFig11bTwoPhase1K(b *testing.B) {
+	solveB(b, &strategy.Greedy{}, func() *strategy.Instance { return genInstance(b, 1000, 5, 1) })
+}
+
+// --- Figure 11(e): the cost side is a shape assertion, not a timing. ---
+
+func BenchmarkFig11eRefinementGain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		one, err := (&strategy.Greedy{SkipRefinement: true}).Solve(genInstance(b, 1000, 5, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		two, err := (&strategy.Greedy{}).Solve(genInstance(b, 1000, 5, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if two.Cost > one.Cost {
+			b.Fatal("refinement increased cost")
+		}
+		b.ReportMetric(100*(one.Cost-two.Cost)/one.Cost, "%cost-reduction")
+	}
+}
+
+// --- Figure 11(c)/(f): the three algorithms across sizes. ---
+
+func BenchmarkFig11cHeuristicTiny(b *testing.B) {
+	solveB(b, strategy.NewHeuristic(), func() *strategy.Instance { return tiny(b, 1) })
+}
+
+func BenchmarkFig11cGreedy1K(b *testing.B) {
+	solveB(b, &strategy.Greedy{}, func() *strategy.Instance { return genInstance(b, 1000, 5, 1) })
+}
+
+func BenchmarkFig11cGreedy5K(b *testing.B) {
+	solveB(b, &strategy.Greedy{}, func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+}
+
+func BenchmarkFig11cDnc1K(b *testing.B) {
+	solveB(b, strategy.NewDivideAndConquer(), func() *strategy.Instance { return genInstance(b, 1000, 5, 1) })
+}
+
+func BenchmarkFig11cDnc5K(b *testing.B) {
+	solveB(b, strategy.NewDivideAndConquer(), func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+}
+
+func BenchmarkFig11cDnc10K(b *testing.B) {
+	solveB(b, strategy.NewDivideAndConquer(), func() *strategy.Instance { return genInstance(b, 10000, 10, 1) })
+}
+
+// --- Ablations (design choices from DESIGN.md). ---
+
+func BenchmarkAblationGainIncremental(b *testing.B) {
+	solveB(b, &strategy.Greedy{Incremental: true},
+		func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+}
+
+func BenchmarkAblationGainRescan(b *testing.B) {
+	solveB(b, &strategy.Greedy{}, func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+}
+
+func BenchmarkAblationGamma(b *testing.B) {
+	for _, gamma := range []int{1, 2, 5} {
+		b.Run(gammaName(gamma), func(b *testing.B) {
+			solveB(b, &strategy.DivideAndConquer{Gamma: gamma, Tau: 8, MaxGroupResults: 64},
+				func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+		})
+	}
+}
+
+func gammaName(g int) string { return "gamma" + string(rune('0'+g)) }
+
+func BenchmarkAblationTau(b *testing.B) {
+	for _, tau := range []int{0, 8} {
+		name := "tau0"
+		if tau == 8 {
+			name = "tau8"
+		}
+		b.Run(name, func(b *testing.B) {
+			solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: tau, MaxGroupResults: 64},
+				func() *strategy.Instance { return genInstance(b, 1000, 5, 1) })
+		})
+	}
+}
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	b.Run("instance-order", func(b *testing.B) {
+		solveB(b, &strategy.Heuristic{UseH2: true, UseH3: true, UseH4: true},
+			func() *strategy.Instance { return tiny(b, 1) })
+	})
+	b.Run("H1-order", func(b *testing.B) {
+		solveB(b, &strategy.Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true},
+			func() *strategy.Instance { return tiny(b, 1) })
+	})
+}
+
+func BenchmarkAblationShannon(b *testing.B) {
+	// (x∧a1)∨(x∧a2)∨...: one shared variable across 8 clauses.
+	x := lineage.NewVar(1)
+	var clauses []*lineage.Expr
+	assign := lineage.MapAssignment{1: 0.5}
+	for i := 2; i < 10; i++ {
+		v := lineage.Var(i)
+		assign[v] = 0.3
+		clauses = append(clauses, lineage.And(x, lineage.NewVar(v)))
+	}
+	e := lineage.Or(clauses...)
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lineage.Prob(e, assign)
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lineage.ProbIndependent(e, assign)
+		}
+	})
+}
+
+// --- Substrate micro-benchmarks. ---
+
+func BenchmarkLineageProbReadOnce(b *testing.B) {
+	in := genInstance(b, 1000, 25, 1)
+	assign := lineage.FuncAssignment(func(v lineage.Var) float64 { return 0.1 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lineage.ProbIndependent(in.Results[i%len(in.Results)].Formula, assign)
+	}
+}
+
+func BenchmarkLineageDerivatives(b *testing.B) {
+	in := genInstance(b, 1000, 25, 1)
+	assign := lineage.FuncAssignment(func(v lineage.Var) float64 { return 0.1 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lineage.Derivatives(in.Results[i%len(in.Results)].Formula, assign)
+	}
+}
+
+func BenchmarkWorkloadGenerate10K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(workload.Params{
+			DataSize: 10000, TuplesPerResult: 5, Delta: 0.1,
+			Theta: 0.5, Beta: 0.6, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartition5K(b *testing.B) {
+	in := genInstance(b, 5000, 5, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strategy.Partition(in, 1, 64)
+	}
+}
+
+func BenchmarkAblationParallelDnc(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) {
+		solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64},
+			func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+	})
+	b.Run("parallel", func(b *testing.B) {
+		solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, Parallel: true},
+			func() *strategy.Instance { return genInstance(b, 5000, 5, 1) })
+	})
+}

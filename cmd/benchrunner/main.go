@@ -1,0 +1,38 @@
+// Command benchrunner regenerates the paper's evaluation artifacts:
+// Table 4 and Figure 11 panels (a)–(f), plus the ablation studies listed
+// in DESIGN.md. Without flags it runs a reduced grid that finishes in
+// well under a minute; -full runs the paper's complete parameter sweep.
+//
+// Usage:
+//
+//	benchrunner [-fig all|table4|11a..11f|ablations] [-full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pcqe/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: "+strings.Join(bench.Names(), ", "))
+	full := flag.Bool("full", false, "run the paper's complete parameter grid (slow)")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	flag.Parse()
+
+	opt := bench.Options{Full: *full, Seed: *seed}
+	tables, err := bench.Run(*fig, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.Format())
+	}
+}

@@ -1,0 +1,201 @@
+// Command pcqe is a small policy-compliant query shell: it loads CSV
+// tables (with per-row confidence and cost columns), installs confidence
+// policies, and evaluates SQL queries the way the PCQE framework does —
+// computing result confidences from lineage, filtering by the policy for
+// the given user and purpose, and proposing minimum-cost confidence
+// improvements when too few rows survive.
+//
+// Usage:
+//
+//	pcqe -table Name=file.csv [-table ...] \
+//	     -role user=role [-role ...] \
+//	     -policy role:purpose:beta [-policy ...] \
+//	     -user alice -purpose analysis [-min 0.5] [-apply] \
+//	     'SELECT ...'
+//
+// CSV files use the table's column names as the header, plus optional
+// "_confidence" (default 1) and "_cost_rate" (linear improvement cost;
+// omit to mark the row non-improvable) columns. Column types are
+// inferred from the first data row (integer, real, then text).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pcqe/internal/core"
+	"pcqe/internal/policy"
+	"pcqe/internal/relation"
+	"pcqe/internal/sql"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pcqe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var tables, roles, policies listFlag
+	flag.Var(&tables, "table", "Name=file.csv (repeatable)")
+	flag.Var(&roles, "role", "user=role assignment (repeatable)")
+	flag.Var(&policies, "policy", "role:purpose:beta confidence policy (repeatable)")
+	user := flag.String("user", "", "user issuing the query")
+	purpose := flag.String("purpose", "any", "purpose of the query")
+	minFrac := flag.Float64("min", 0, "θ: fraction of results required (enables improvement proposals)")
+	apply := flag.Bool("apply", false, "apply the improvement proposal and re-run the query")
+	execScript := flag.String("exec", "", "SQL script file to execute before the query (CREATE TABLE / INSERT ... WITH CONFIDENCE / UPDATE / DELETE)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("exactly one SQL query argument expected")
+	}
+	query := flag.Arg(0)
+
+	cat := relation.NewCatalog()
+	for _, spec := range tables {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q, want Name=file.csv", spec)
+		}
+		if err := loadTable(cat, name, file); err != nil {
+			return err
+		}
+	}
+	if *execScript != "" {
+		script, err := os.ReadFile(*execScript)
+		if err != nil {
+			return err
+		}
+		results, err := sql.ExecScript(cat, string(script))
+		for _, r := range results {
+			fmt.Fprintln(os.Stderr, r.Message)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	rbac := policy.NewRBAC()
+	purposes := policy.NewPurposeTree()
+	store := policy.NewStore(rbac, purposes)
+	for _, spec := range policies {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -policy %q, want role:purpose:beta", spec)
+		}
+		beta, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad -policy threshold %q: %v", parts[2], err)
+		}
+		rbac.AddRole(parts[0])
+		if parts[1] != policy.Root && !purposes.Has(parts[1]) {
+			if err := purposes.Add(parts[1], ""); err != nil {
+				return err
+			}
+		}
+		if err := store.Add(policy.ConfidencePolicy{Role: parts[0], Purpose: parts[1], Beta: beta}); err != nil {
+			return err
+		}
+	}
+	for _, spec := range roles {
+		u, r, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -role %q, want user=role", spec)
+		}
+		rbac.AddRole(r)
+		if err := rbac.AssignUser(u, r); err != nil {
+			return err
+		}
+	}
+
+	engine := core.NewEngine(cat, store, nil)
+	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac}
+	resp, err := engine.Evaluate(req)
+	if err != nil {
+		return err
+	}
+	fmt.Print(resp.Report())
+
+	if *apply && resp.Proposal != nil {
+		if err := engine.Apply(resp.Proposal); err != nil {
+			return err
+		}
+		fmt.Println("\napplied improvement; re-evaluating:")
+		resp, err = engine.Evaluate(req)
+		if err != nil {
+			return err
+		}
+		fmt.Print(resp.Report())
+	}
+	return nil
+}
+
+// loadTable infers a schema from the CSV header and first data row,
+// creates the table and loads every row.
+func loadTable(cat *relation.Catalog, name, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	schema, err := inferSchema(file)
+	if err != nil {
+		return err
+	}
+	tab, err := cat.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	n, err := relation.LoadCSV(tab, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d rows\n", name, n)
+	return nil
+}
+
+func inferSchema(file string) (*relation.Schema, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var header, sample []string
+	buf := make([]byte, 1<<20)
+	n, _ := f.Read(buf)
+	lines := strings.SplitN(string(buf[:n]), "\n", 3)
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("%s: need a header and at least one row", file)
+	}
+	header = strings.Split(strings.TrimRight(lines[0], "\r"), ",")
+	sample = strings.Split(strings.TrimRight(lines[1], "\r"), ",")
+	var cols []relation.Column
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == relation.ConfidenceColumn || h == relation.CostColumn {
+			continue
+		}
+		typ := relation.TypeString
+		if i < len(sample) {
+			v := strings.TrimSpace(sample[i])
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				typ = relation.TypeInt
+			} else if _, err := strconv.ParseFloat(v, 64); err == nil {
+				typ = relation.TypeFloat
+			}
+		}
+		cols = append(cols, relation.Column{Name: h, Type: typ})
+	}
+	return relation.NewSchema(cols...), nil
+}

@@ -1,0 +1,90 @@
+// Advisor demonstrates the paper's Section 6 outlook: improving data
+// quality takes wall-clock time (audits, record requests, surveys), so a
+// decision maker should submit the query ahead of the decision. The
+// advisor prices the improvement plan in time — serial worst case and a
+// parallel schedule over a pool of auditors — and answers "how much time
+// in advance do I need to ask?".
+//
+// Run with: go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pcqe"
+)
+
+func main() {
+	cat := pcqe.NewCatalog()
+	audits, err := cat.CreateTable("Audits", pcqe.NewSchema(
+		pcqe.Column{Name: "Branch", Type: pcqe.TypeString},
+		pcqe.Column{Name: "Irregularities", Type: pcqe.TypeInt},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Six branch reports, all needing verification before the board
+	// meeting. Costs are audit-hours per unit of confidence.
+	type branch struct {
+		name string
+		irr  int64
+		conf float64
+		rate float64
+	}
+	for _, b := range []branch{
+		{"amsterdam", 2, 0.35, 40},
+		{"berlin", 0, 0.4, 25},
+		{"calgary", 5, 0.3, 60},
+		{"dakar", 1, 0.45, 30},
+		{"essen", 3, 0.38, 35},
+		{"fukuoka", 0, 0.5, 20},
+	} {
+		audits.MustInsert(b.conf, pcqe.LinearCost{Rate: b.rate},
+			pcqe.String(b.name), pcqe.Int(b.irr))
+	}
+
+	rbac := pcqe.NewRBAC()
+	rbac.AddRole("board")
+	must(rbac.AssignUser("chair", "board"))
+	purposes := pcqe.NewPurposeTree()
+	must(purposes.Add("governance", ""))
+	store := pcqe.NewPolicyStore(rbac, purposes)
+	must(store.Add(pcqe.ConfidencePolicy{Role: "board", Purpose: "governance", Beta: 0.75}))
+
+	engine := pcqe.NewEngine(cat, store, nil)
+	req := pcqe.Request{
+		User:        "chair",
+		Purpose:     "governance",
+		MinFraction: 0.667, // the board wants at least 4 of 6 branches verified
+		Query:       `SELECT Branch, Irregularities FROM Audits ORDER BY Irregularities DESC`,
+	}
+	resp, err := engine.Evaluate(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(resp.Report())
+	if resp.Proposal == nil {
+		fmt.Println("no improvement needed")
+		return
+	}
+
+	// One cost unit = one auditor-hour.
+	fmt.Println("\nlead-time estimates (1 cost unit = 1 auditor-hour):")
+	for _, workers := range []int{1, 2, 4} {
+		adv := pcqe.NewAdvisor(time.Hour, workers)
+		fmt.Printf("  %d auditor(s): finish in %v (serial bound %v)\n",
+			workers, adv.LeadTime(resp.Proposal).Round(time.Minute),
+			adv.SerialTime(resp.Proposal).Round(time.Minute))
+	}
+	adv := pcqe.NewAdvisor(time.Hour, 2)
+	fmt.Printf("\nwith 2 auditors, submit this query at least %v before the board meeting\n",
+		adv.LeadTime(resp.Proposal).Round(time.Minute))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Healthcare models the paper's introduction scenario (after Malin et
+// al.): cancer-care data comes in tiers of rising cost and accuracy —
+// registry/administrative data is cheap, patient and physician surveys
+// cost more, and medical-record abstraction is the most expensive but
+// most accurate. Purposes differ too: hypothesis generation tolerates
+// medium confidence, while evaluating treatment effectiveness outside a
+// controlled study demands high confidence.
+//
+// The example also exercises the confidence-assignment component: the
+// per-row confidences come from the provenance-based trust model
+// (providers = registry, survey, abstraction pipelines), not from
+// hand-picked constants.
+//
+// Run with: go run ./examples/healthcare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcqe"
+)
+
+func main() {
+	// --- 1. Confidence assignment from provenance (Dai et al. 2008
+	// style): three data pipelines with different prior trust, items
+	// corroborating or contradicting each other. ---
+	model, err := pcqe.NewTrustModel(pcqe.DefaultTrustConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(model.AddProvider("registry", 0.55))
+	must(model.AddProvider("survey", 0.7))
+	must(model.AddProvider("records", 0.92))
+
+	// Reported five-year survival-rate improvements (percent) for two
+	// treatments; the entity names tie conflicting reports together.
+	items := []pcqe.TrustItem{
+		{ID: "regA", Entity: "treatmentA", Value: 12, Providers: []string{"registry"}},
+		{ID: "survA", Entity: "treatmentA", Value: 11.5, Providers: []string{"survey"}},
+		{ID: "recA", Entity: "treatmentA", Value: 12.2, Providers: []string{"records"}},
+		{ID: "regB", Entity: "treatmentB", Value: 3, Providers: []string{"registry"}},
+		{ID: "recB", Entity: "treatmentB", Value: 9, Providers: []string{"records"}}, // conflicts with regB
+	}
+	for _, it := range items {
+		must(model.AddItem(it))
+	}
+	trust := model.Run()
+	fmt.Println("--- confidence assignment (provenance fixpoint) ---")
+	for _, it := range items {
+		fmt.Printf("  %-6s (%s via %v): confidence %.3f\n",
+			it.ID, it.Entity, it.Providers, trust.Confidence[it.ID])
+	}
+
+	// --- 2. The database: outcome rows carry the assigned confidences
+	// and tier-specific improvement costs (registry rows are cheap to
+	// re-verify, record abstraction is expensive). ---
+	cat := pcqe.NewCatalog()
+	outcomes, err := cat.CreateTable("Outcomes", pcqe.NewSchema(
+		pcqe.Column{Name: "Treatment", Type: pcqe.TypeString},
+		pcqe.Column{Name: "Improvement", Type: pcqe.TypeFloat},
+		pcqe.Column{Name: "Source", Type: pcqe.TypeString},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	costFor := map[string]pcqe.CostFunction{
+		"registry": pcqe.LinearCost{Rate: 50},
+		"survey":   pcqe.QuadraticCost{A: 300, B: 100},
+		"records":  pcqe.ExponentialCost{Scale: 120, Rate: 2.5},
+	}
+	type rowSpec struct {
+		item      string
+		treatment string
+		value     float64
+		source    string
+	}
+	for _, rs := range []rowSpec{
+		{"regA", "A", 12, "registry"},
+		{"survA", "A", 11.5, "survey"},
+		{"recA", "A", 12.2, "records"},
+		{"regB", "B", 3, "registry"},
+		{"recB", "B", 9, "records"},
+	} {
+		outcomes.MustInsert(trust.Confidence[rs.item], costFor[rs.source],
+			pcqe.String(rs.treatment), pcqe.Float(rs.value), pcqe.String(rs.source))
+	}
+
+	// --- 3. Policies: hypothesis generation is lenient, treatment
+	// evaluation is strict (the Malin et al. guideline). ---
+	rbac := pcqe.NewRBAC()
+	rbac.AddRole("researcher")
+	rbac.AddRole("oncologist")
+	must(rbac.AssignUser("rita", "researcher"))
+	must(rbac.AssignUser("omar", "oncologist"))
+	purposes := pcqe.NewPurposeTree()
+	must(purposes.Add("hypothesis-generation", ""))
+	must(purposes.Add("treatment-evaluation", ""))
+	store := pcqe.NewPolicyStore(rbac, purposes)
+	must(store.Add(pcqe.ConfidencePolicy{Role: "researcher", Purpose: "hypothesis-generation", Beta: 0.4}))
+	must(store.Add(pcqe.ConfidencePolicy{Role: "oncologist", Purpose: "treatment-evaluation", Beta: 0.8}))
+
+	engine := pcqe.NewEngine(cat, store, nil)
+	const query = `
+		SELECT Treatment, Improvement, Source
+		FROM Outcomes
+		WHERE Improvement > 5
+		ORDER BY Improvement DESC`
+
+	fmt.Println("\n--- rita (researcher, hypothesis generation, β=0.4) ---")
+	resp, err := engine.Evaluate(pcqe.Request{User: "rita", Query: query, Purpose: "hypothesis-generation"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(resp.Report())
+
+	fmt.Println("\n--- omar (oncologist, treatment evaluation, β=0.8) ---")
+	req := pcqe.Request{User: "omar", Query: query, Purpose: "treatment-evaluation", MinFraction: 0.5}
+	resp, err = engine.Evaluate(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(resp.Report())
+
+	// --- 4. Improving the data: the planner prefers the cheap registry
+	// re-verification over re-abstracting medical records whenever it
+	// suffices, and reports the bill either way. ---
+	if resp.Proposal != nil {
+		fmt.Printf("\nplan uses %s; applying...\n", resp.Proposal.Solver())
+		if err := engine.Apply(resp.Proposal); err != nil {
+			log.Fatal(err)
+		}
+		resp, err = engine.Evaluate(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("--- after improvement ---")
+		fmt.Print(resp.Report())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

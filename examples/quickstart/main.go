@@ -1,0 +1,110 @@
+// Quickstart walks the paper's running example (Section 3.1) end to
+// end: the venture-capital database of Tables 1–2, the query for
+// financial information of companies asking for less than one million
+// dollars, the two confidence policies P1 and P2, and the minimum-cost
+// confidence increment that lets the manager see the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcqe"
+)
+
+func main() {
+	// --- 1. The database: base tuples carry confidence and a cost
+	// function for improving it. Tuple numbering follows the paper. ---
+	cat := pcqe.NewCatalog()
+	proposal, err := cat.CreateTable("Proposal", pcqe.NewSchema(
+		pcqe.Column{Name: "Company", Type: pcqe.TypeString},
+		pcqe.Column{Name: "Proposal", Type: pcqe.TypeString},
+		pcqe.Column{Name: "Funding", Type: pcqe.TypeFloat},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := cat.CreateTable("CompanyInfo", pcqe.NewSchema(
+		pcqe.Column{Name: "Company", Type: pcqe.TypeString},
+		pcqe.Column{Name: "Income", Type: pcqe.TypeFloat},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Tuple 01: AcmeSoft wants too much money — filtered by the query.
+	proposal.MustInsert(0.5, pcqe.LinearCost{Rate: 500},
+		pcqe.String("AcmeSoft"), pcqe.String("cloud platform"), pcqe.Float(2_000_000))
+	// Tuples 02 and 03: ZStart's proposals. Raising tuple 02's
+	// confidence by 0.1 costs 100; raising tuple 03's costs 10 (the
+	// paper's cost asymmetry).
+	proposal.MustInsert(0.3, pcqe.LinearCost{Rate: 1000},
+		pcqe.String("ZStart"), pcqe.String("sensor mesh"), pcqe.Float(800_000))
+	proposal.MustInsert(0.4, pcqe.LinearCost{Rate: 100},
+		pcqe.String("ZStart"), pcqe.String("mobile app"), pcqe.Float(900_000))
+	// Tuple 13: ZStart's financials, low confidence (young company).
+	info.MustInsert(0.1, pcqe.LinearCost{Rate: 2000},
+		pcqe.String("ZStart"), pcqe.Float(120_000))
+	info.MustInsert(0.9, nil, pcqe.String("AcmeSoft"), pcqe.Float(5_000_000))
+
+	// --- 2. Policies: P1 = ⟨Secretary, analysis, 0.05⟩ and
+	// P2 = ⟨Manager, investment, 0.06⟩. ---
+	rbac := pcqe.NewRBAC()
+	rbac.AddRole("secretary")
+	rbac.AddRole("manager")
+	must(rbac.AssignUser("sue", "secretary"))
+	must(rbac.AssignUser("mark", "manager"))
+	purposes := pcqe.NewPurposeTree()
+	must(purposes.Add("analysis", ""))
+	must(purposes.Add("investment", ""))
+	store := pcqe.NewPolicyStore(rbac, purposes)
+	must(store.Add(pcqe.ConfidencePolicy{Role: "secretary", Purpose: "analysis", Beta: 0.05}))
+	must(store.Add(pcqe.ConfidencePolicy{Role: "manager", Purpose: "investment", Beta: 0.06}))
+
+	engine := pcqe.NewEngine(cat, store, nil)
+	const query = `
+		SELECT DISTINCT CompanyInfo.Company, Income
+		FROM CompanyInfo JOIN Proposal ON CompanyInfo.Company = Proposal.Company
+		WHERE Funding < 1000000`
+
+	// --- 3. The secretary's view: p38 = (p02 ∨ p03) ∧ p13 = 0.058
+	// clears her 0.05 threshold. ---
+	fmt.Println("--- sue (secretary, purpose analysis, β=0.05) ---")
+	resp, err := engine.Evaluate(pcqe.Request{User: "sue", Query: query, Purpose: "analysis"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(resp.Report())
+
+	// --- 4. The manager's view: 0.058 < 0.06, the row is withheld, and
+	// the strategy finder proposes the cheapest fix — raising tuple 03
+	// from 0.4 to 0.5 for cost 10 (not tuple 02, which costs 10×). ---
+	fmt.Println("\n--- mark (manager, purpose investment, β=0.06) ---")
+	req := pcqe.Request{User: "mark", Query: query, Purpose: "investment", MinFraction: 1.0}
+	resp, err = engine.Evaluate(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(resp.Report())
+
+	// --- 5. The manager accepts: apply the improvement and re-query.
+	// p38 becomes (0.3 ∨ 0.5) · 0.1 = 0.065 > 0.06. ---
+	if resp.Proposal != nil {
+		if err := engine.Apply(resp.Proposal); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\n--- after applying the improvement ---")
+		resp, err = engine.Evaluate(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(resp.Report())
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

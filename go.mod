@@ -1,0 +1,3 @@
+module pcqe
+
+go 1.22

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		Title:   "t",
+		XLabel:  "x",
+		Columns: []string{"a", "b"},
+		Rows: []RowData{
+			{X: "r1", Values: map[string]float64{"a": 1.5}},
+		},
+		Notes: "note",
+	}
+	s := tab.Format()
+	for _, want := range []string{"== t ==", "x", "a", "b", "r1", "1.5", "-", "shape: note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tab := Table4()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Values["default"] != 10000 {
+		t.Errorf("data size default = %v", tab.Rows[0].Values["default"])
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	tab, err := Fig11a(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RowData{}
+	for _, r := range tab.Rows {
+		byName[r.X] = r
+	}
+	naive, ok1 := byName["Naive"]
+	all, ok2 := byName["All"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing rows: %v", tab.Rows)
+	}
+	// The paper's headline: All explores far less than Naive.
+	if all.Values["nodes"] >= naive.Values["nodes"] {
+		t.Errorf("All nodes (%v) should be below Naive nodes (%v)",
+			all.Values["nodes"], naive.Values["nodes"])
+	}
+	// Every variant returns the same optimal cost.
+	for name, r := range byName {
+		if r.Values["cost"] != naive.Values["cost"] {
+			t.Errorf("%s cost %v differs from Naive %v (pruning must stay exact)",
+				name, r.Values["cost"], naive.Values["cost"])
+		}
+	}
+}
+
+func TestFig11dBoundHelps(t *testing.T) {
+	a, err := Fig11a(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Fig11d(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := func(tab *Table, name string) float64 {
+		for _, r := range tab.Rows {
+			if r.X == name {
+				return r.Values["nodes"]
+			}
+		}
+		return -1
+	}
+	// The greedy-seeded bound must not increase the explored nodes for
+	// the naive variant (it can only prune more).
+	if nodes(d, "Naive") > nodes(a, "Naive") {
+		t.Errorf("greedy bound made Naive worse: %v > %v", nodes(d, "Naive"), nodes(a, "Naive"))
+	}
+}
+
+func TestFig11beShape(t *testing.T) {
+	opt := DefaultOptions()
+	timeT, costT, err := Fig11be(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeT.Rows) != len(costT.Rows) || len(timeT.Rows) == 0 {
+		t.Fatalf("rows: %d vs %d", len(timeT.Rows), len(costT.Rows))
+	}
+	for _, r := range costT.Rows {
+		if r.Values["two-phase"] > r.Values["one-phase"]+1e-9 {
+			t.Errorf("size %s: two-phase cost %v above one-phase %v",
+				r.X, r.Values["two-phase"], r.Values["one-phase"])
+		}
+		if r.Values["reduction_%"] < 0 {
+			t.Errorf("size %s: negative reduction", r.X)
+		}
+	}
+}
+
+func TestFig11cfShape(t *testing.T) {
+	opt := DefaultOptions()
+	timeT, costT, err := Fig11cf(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeT.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Tiny size: heuristic present and optimal (not above greedy/dnc).
+	first := costT.Rows[0]
+	h, ok := first.Values["heuristic"]
+	if !ok {
+		t.Fatal("heuristic missing at size 10")
+	}
+	for _, col := range []string{"greedy", "dnc"} {
+		if v, ok := first.Values[col]; ok && h > v+1e-9 {
+			t.Errorf("heuristic cost %v above %s %v at size 10", h, col, v)
+		}
+	}
+	// Large sizes: heuristic absent.
+	last := timeT.Rows[len(timeT.Rows)-1]
+	if _, ok := last.Values["heuristic_s"]; ok {
+		t.Error("heuristic should not run at the largest size")
+	}
+	if _, ok := last.Values["dnc_s"]; !ok {
+		t.Error("dnc must run at every size")
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	opt := DefaultOptions()
+	for _, name := range []string{"table4", "11a"} {
+		tabs, err := Run(name, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tabs) == 0 {
+			t.Fatalf("%s: no tables", name)
+		}
+	}
+	if _, err := Run("nope", opt); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if len(Names()) == 0 {
+		t.Fatal("Names empty")
+	}
+}
+
+func TestAblationGainIncremental(t *testing.T) {
+	opt := Options{Seed: 1}
+	tab, err := AblationGainIncremental(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r.Values["cost_delta"] != 0 {
+			t.Errorf("size %s: plans diverge (Δcost=%v)", r.X, r.Values["cost_delta"])
+		}
+	}
+}
+
+func TestAblationShannon(t *testing.T) {
+	tab, err := AblationShannon(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No sharing: zero error. Sharing: growing error.
+	if tab.Rows[0].Values["max_abs_error"] > 1e-12 {
+		t.Errorf("no-sharing error = %v", tab.Rows[0].Values["max_abs_error"])
+	}
+	if tab.Rows[len(tab.Rows)-1].Values["max_abs_error"] <= 0 {
+		t.Errorf("shared-vars approximation should be biased")
+	}
+}
+
+func TestAblationGammaAndTau(t *testing.T) {
+	if _, err := AblationGamma(Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationTau(Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	tab, err := AblationOrdering(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFrameworkOverheadShape(t *testing.T) {
+	tab, err := FrameworkOverhead(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range tab.Rows {
+		// The policy check itself must not dwarf the raw query: the
+		// evaluate pass includes the query, so it is within a small
+		// factor of it.
+		if r.Values["evaluate_s"] > 20*r.Values["query_s"]+0.05 {
+			t.Errorf("size %s: evaluate %.4fs vs query %.4fs — policy overhead out of band",
+				r.X, r.Values["evaluate_s"], r.Values["query_s"])
+		}
+		if r.Values["withheld"] <= 0 {
+			t.Errorf("size %s: expected withheld rows under β=0.12", r.X)
+		}
+	}
+}

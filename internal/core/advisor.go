@@ -1,0 +1,80 @@
+package core
+
+import (
+	"time"
+)
+
+// Advisor implements the paper's Section 6 outlook: because actually
+// improving data quality takes time, a user can submit the query ahead
+// of the moment the data is needed, and the system tells them "how much
+// time in advance" to ask. The model prices time the way the instance
+// prices money: each unit of improvement cost takes a configurable
+// duration, improvements on distinct tuples may run concurrently up to a
+// worker limit.
+type Advisor struct {
+	// PerCostUnit is how long one unit of improvement cost takes.
+	PerCostUnit time.Duration
+	// Workers is the number of improvement actions that can run
+	// concurrently (e.g. auditors). Minimum 1.
+	Workers int
+}
+
+// NewAdvisor returns an advisor with the given time-per-cost-unit and
+// worker pool size.
+func NewAdvisor(perCostUnit time.Duration, workers int) *Advisor {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Advisor{PerCostUnit: perCostUnit, Workers: workers}
+}
+
+// LeadTime estimates how long applying the proposal takes: per-tuple
+// durations are scheduled LPT (longest processing time first) onto the
+// worker pool, a standard 4/3-approximation for makespan.
+func (a *Advisor) LeadTime(p *Proposal) time.Duration {
+	if p == nil {
+		return 0
+	}
+	incs := p.Increments()
+	if len(incs) == 0 {
+		return 0
+	}
+	durations := make([]time.Duration, len(incs))
+	for i, inc := range incs {
+		durations[i] = time.Duration(inc.Cost * float64(a.PerCostUnit))
+	}
+	// Increments() is already sorted by descending cost, which is the
+	// LPT order.
+	loads := make([]time.Duration, a.Workers)
+	for _, d := range durations {
+		// Place on the least-loaded worker.
+		min := 0
+		for w := 1; w < len(loads); w++ {
+			if loads[w] < loads[min] {
+				min = w
+			}
+		}
+		loads[min] += d
+	}
+	makespan := loads[0]
+	for _, l := range loads[1:] {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}
+
+// SerialTime is the lead time with a single worker (the sum of all
+// per-increment durations) — the pessimistic bound the advisor reports
+// alongside LeadTime.
+func (a *Advisor) SerialTime(p *Proposal) time.Duration {
+	if p == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, inc := range p.Increments() {
+		total += time.Duration(inc.Cost * float64(a.PerCostUnit))
+	}
+	return total
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pcqe/internal/lineage"
+)
+
+// AuditEventKind classifies audit-log entries.
+type AuditEventKind uint8
+
+// Audit event kinds.
+const (
+	// AuditEvaluate records one policy-compliant query evaluation.
+	AuditEvaluate AuditEventKind = iota
+	// AuditPropose records that an improvement plan was offered.
+	AuditPropose
+	// AuditApply records that an improvement plan was applied.
+	AuditApply
+)
+
+// String returns the event kind's name.
+func (k AuditEventKind) String() string {
+	switch k {
+	case AuditEvaluate:
+		return "evaluate"
+	case AuditPropose:
+		return "propose"
+	case AuditApply:
+		return "apply"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AuditEvent is one entry in the engine's compliance journal. Confidence
+// policies exist for governance; the journal answers "who saw what at
+// which threshold, and who paid to see more".
+type AuditEvent struct {
+	Seq      int
+	Time     time.Time
+	Kind     AuditEventKind
+	User     string
+	Purpose  string
+	Query    string
+	Beta     float64
+	Released int
+	Withheld int
+	// Cost and Increments are set for propose/apply events.
+	Cost       float64
+	Increments []Increment
+}
+
+// String renders the event as one journal line.
+func (e AuditEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Kind, e.User)
+	if e.Purpose != "" {
+		fmt.Fprintf(&b, " purpose=%s", e.Purpose)
+	}
+	switch e.Kind {
+	case AuditEvaluate:
+		fmt.Fprintf(&b, " β=%.4g released=%d withheld=%d", e.Beta, e.Released, e.Withheld)
+	case AuditPropose, AuditApply:
+		fmt.Fprintf(&b, " cost=%.4g tuples=%d", e.Cost, len(e.Increments))
+	}
+	return b.String()
+}
+
+// AuditLog is a concurrency-safe append-only journal. The zero value is
+// ready to use. Clock is overridable for deterministic tests.
+type AuditLog struct {
+	mu     sync.Mutex
+	events []AuditEvent
+	Clock  func() time.Time
+}
+
+func (l *AuditLog) record(e AuditEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = len(l.events) + 1
+	if l.Clock != nil {
+		e.Time = l.Clock()
+	} else {
+		e.Time = time.Now()
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the journal.
+func (l *AuditLog) Events() []AuditEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AuditEvent{}, l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// ByKind returns the recorded events of one kind, in order.
+func (l *AuditLog) ByKind(kind AuditEventKind) []AuditEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []AuditEvent
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalImprovementSpend sums the cost of all applied improvement plans —
+// the running bill for data-quality work.
+func (l *AuditLog) TotalImprovementSpend() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := 0.0
+	for _, e := range l.events {
+		if e.Kind == AuditApply {
+			total += e.Cost
+		}
+	}
+	return total
+}
+
+// ImprovedTuples returns the distinct base tuples whose confidence was
+// raised by applied plans, with the cumulative spend per tuple.
+func (l *AuditLog) ImprovedTuples() map[lineage.Var]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[lineage.Var]float64{}
+	for _, e := range l.events {
+		if e.Kind != AuditApply {
+			continue
+		}
+		for _, inc := range e.Increments {
+			out[inc.Var] += inc.Cost
+		}
+	}
+	return out
+}
+
+// SetAudit attaches a journal to the engine; nil detaches. Evaluate,
+// proposal creation and Apply record events while attached.
+func (e *Engine) SetAudit(log *AuditLog) { e.audit = log }
+
+// Audit returns the attached journal (nil when none).
+func (e *Engine) Audit() *AuditLog { return e.audit }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAuditJournal(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	log := &AuditLog{Clock: func() time.Time { return time.Unix(1_000_000, 0) }}
+	e.SetAudit(log)
+	if e.Audit() != log {
+		t.Fatal("Audit() should return the attached journal")
+	}
+
+	req := Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0}
+	resp, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate + Propose recorded.
+	if log.Len() != 2 {
+		t.Fatalf("events = %d, want 2", log.Len())
+	}
+	ev := log.Events()
+	if ev[0].Kind != AuditEvaluate || ev[0].User != "mark" || ev[0].Withheld != 1 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Kind != AuditPropose || ev[1].Cost <= 0 {
+		t.Fatalf("event 1 = %+v", ev[1])
+	}
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Fatalf("sequence numbers: %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+	if !ev[0].Time.Equal(time.Unix(1_000_000, 0)) {
+		t.Fatal("clock override ignored")
+	}
+
+	if err := e.Apply(resp.Proposal); err != nil {
+		t.Fatal(err)
+	}
+	applies := log.ByKind(AuditApply)
+	if len(applies) != 1 {
+		t.Fatalf("apply events = %d", len(applies))
+	}
+	if applies[0].User != "mark" || applies[0].Purpose != "investment" {
+		t.Fatalf("apply attribution = %+v", applies[0])
+	}
+	if got := log.TotalImprovementSpend(); got != applies[0].Cost {
+		t.Fatalf("spend = %v, want %v", got, applies[0].Cost)
+	}
+	improved := log.ImprovedTuples()
+	if len(improved) != 1 {
+		t.Fatalf("improved tuples = %v", improved)
+	}
+
+	// Event rendering.
+	if s := ev[0].String(); !strings.Contains(s, "evaluate") || !strings.Contains(s, "withheld=1") {
+		t.Errorf("event string = %q", s)
+	}
+	if s := applies[0].String(); !strings.Contains(s, "apply") || !strings.Contains(s, "cost=") {
+		t.Errorf("apply string = %q", s)
+	}
+	if AuditEvaluate.String() != "evaluate" || AuditPropose.String() != "propose" || AuditApply.String() != "apply" {
+		t.Error("kind names")
+	}
+}
+
+func TestAuditDetachedIsSilent(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	// No journal attached: everything still works.
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply(resp.Proposal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportWithLineage(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "sue", Query: ventureQuery, Purpose: "analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resp.ReportWithLineage()
+	if !strings.Contains(rep, "lineage") {
+		t.Fatalf("missing lineage column:\n%s", rep)
+	}
+	// The released row's lineage is (t2 | t3) & t4 in catalog-assigned
+	// variables (paper's (p02∨p03)∧p13 shape: an OR and an AND).
+	if !strings.Contains(rep, "|") || !strings.Contains(rep, "&") {
+		t.Fatalf("lineage formula not rendered:\n%s", rep)
+	}
+	// Plain report has no lineage column.
+	if strings.Contains(resp.Report(), "lineage") {
+		t.Fatal("plain report should not include lineage")
+	}
+}

@@ -1,0 +1,175 @@
+// Package core implements the PCQE framework of the paper's Figure 1:
+// it wires the query evaluator (internal/sql + internal/relation), the
+// confidence-policy evaluator (internal/policy) and the strategy-finding
+// component (internal/strategy) into the end-to-end flow —
+//
+//  1. a user submits ⟨Q, purpose, θ⟩;
+//  2. the query runs and every intermediate result gets a confidence via
+//     lineage propagation;
+//  3. the applicable confidence policy filters the results: only rows
+//     with confidence above the effective threshold β are released;
+//  4. when fewer than θ·n rows survive, the strategy finder computes a
+//     minimum-cost confidence-increment plan over the withheld rows'
+//     base tuples and reports it as a proposal with its cost;
+//  5. if the user accepts, the data-quality improvement step applies the
+//     plan to the database and the query is re-evaluated.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pcqe/internal/policy"
+	"pcqe/internal/relation"
+	"pcqe/internal/sql"
+	"pcqe/internal/strategy"
+)
+
+// Engine is a PCQE instance over one database and one policy store.
+type Engine struct {
+	catalog  *relation.Catalog
+	policies *policy.Store
+	solver   strategy.Solver
+	audit    *AuditLog
+}
+
+// NewEngine builds an engine. A nil solver defaults to the
+// divide-and-conquer algorithm (the paper's most scalable choice).
+func NewEngine(catalog *relation.Catalog, policies *policy.Store, solver strategy.Solver) *Engine {
+	if solver == nil {
+		solver = strategy.NewDivideAndConquer()
+	}
+	return &Engine{catalog: catalog, policies: policies, solver: solver}
+}
+
+// Catalog exposes the engine's database catalog.
+func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
+
+// Policies exposes the engine's policy store.
+func (e *Engine) Policies() *policy.Store { return e.policies }
+
+// Request is the user input ⟨Q, pu, perc⟩ from Section 3.2.
+type Request struct {
+	// User issues the query; policies apply via the user's roles.
+	User string
+	// Query is the SQL text.
+	Query string
+	// Purpose states why the data is accessed.
+	Purpose string
+	// MinFraction is θ: the fraction of intermediate results the user
+	// needs released. 0 disables improvement proposals.
+	MinFraction float64
+}
+
+// Row is one query result with its computed confidence.
+type Row struct {
+	Tuple      *relation.Tuple
+	Confidence float64
+}
+
+// Response is the outcome of policy-compliant query evaluation.
+type Response struct {
+	// Schema describes the result columns.
+	Schema *relation.Schema
+	// Released holds the rows whose confidence clears the threshold,
+	// in descending confidence order.
+	Released []Row
+	// Withheld holds the rows the policy filtered out (confidence at or
+	// below the threshold), in descending confidence order. Callers in
+	// trusted positions (the improvement planner) see them; a UI would
+	// not display them.
+	Withheld []Row
+	// Threshold is the effective β; PolicyApplied reports whether any
+	// policy matched (when false, every row is released and Threshold
+	// is 0).
+	Threshold     float64
+	PolicyApplied bool
+	// Proposal is non-nil when fewer than θ·n rows were released and an
+	// improvement plan exists.
+	Proposal *Proposal
+}
+
+// Need returns how many additional rows must clear the policy to honor
+// the request's θ.
+func (r *Response) Need(req Request) int {
+	total := len(r.Released) + len(r.Withheld)
+	want := int(math.Ceil(req.MinFraction * float64(total)))
+	need := want - len(r.Released)
+	if need < 0 {
+		return 0
+	}
+	if need > len(r.Withheld) {
+		return len(r.Withheld)
+	}
+	return need
+}
+
+// Evaluate runs the full PCQE flow for one request (steps 1–4 of
+// Figure 1; Apply is step 5).
+func (e *Engine) Evaluate(req Request) (*Response, error) {
+	rows, schema, err := sql.Query(e.catalog, req.Query)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Schema: schema}
+	beta, applied := e.policies.Threshold(req.User, req.Purpose)
+	resp.Threshold = beta
+	resp.PolicyApplied = applied
+
+	for _, t := range rows {
+		row := Row{Tuple: t, Confidence: e.catalog.Confidence(t)}
+		// Definition 1: access requires confidence strictly above β.
+		if !applied || row.Confidence > beta {
+			resp.Released = append(resp.Released, row)
+		} else {
+			resp.Withheld = append(resp.Withheld, row)
+		}
+	}
+	sortRows(resp.Released)
+	sortRows(resp.Withheld)
+
+	if applied && req.MinFraction > 0 {
+		if need := resp.Need(req); need > 0 {
+			prop, err := e.propose(resp, need)
+			if err != nil && err != strategy.ErrInfeasible {
+				return nil, err
+			}
+			resp.Proposal = prop // nil on infeasibility: nothing to offer
+			if prop != nil {
+				prop.user, prop.purpose = req.User, req.Purpose
+			}
+		}
+	}
+	if e.audit != nil {
+		e.audit.record(AuditEvent{
+			Kind: AuditEvaluate, User: req.User, Purpose: req.Purpose,
+			Query: req.Query, Beta: resp.Threshold,
+			Released: len(resp.Released), Withheld: len(resp.Withheld),
+		})
+		if resp.Proposal != nil {
+			e.audit.record(AuditEvent{
+				Kind: AuditPropose, User: req.User, Purpose: req.Purpose,
+				Query: req.Query, Beta: resp.Threshold,
+				Cost: resp.Proposal.Cost(), Increments: resp.Proposal.Increments(),
+			})
+		}
+	}
+	return resp, nil
+}
+
+func sortRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Confidence > rows[j].Confidence
+	})
+}
+
+// String renders a short human-readable summary.
+func (r *Response) String() string {
+	s := fmt.Sprintf("released %d rows, withheld %d (threshold %.3g)",
+		len(r.Released), len(r.Withheld), r.Threshold)
+	if r.Proposal != nil {
+		s += fmt.Sprintf("; improvement available at cost %.4g", r.Proposal.Cost())
+	}
+	return s
+}

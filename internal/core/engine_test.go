@@ -1,0 +1,463 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/policy"
+	"pcqe/internal/relation"
+	"pcqe/internal/strategy"
+)
+
+// newVentureEngine assembles the paper's complete running example:
+// Tables 1–2, policies P1 (secretary/analysis/0.05) and P2
+// (manager/investment/0.06), users sue (secretary) and mark (manager).
+func newVentureEngine(t *testing.T, solver strategy.Solver) *Engine {
+	t.Helper()
+	c := relation.NewCatalog()
+	proposal, err := c.CreateTable("Proposal", relation.NewSchema(
+		relation.Column{Name: "Company", Type: relation.TypeString},
+		relation.Column{Name: "Proposal", Type: relation.TypeString},
+		relation.Column{Name: "Funding", Type: relation.TypeFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.CreateTable("CompanyInfo", relation.NewSchema(
+		relation.Column{Name: "Company", Type: relation.TypeString},
+		relation.Column{Name: "Income", Type: relation.TypeFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple numbering follows the paper: 02 and 03 are ZStart's
+	// proposals, 13 is ZStart's financials. Raising 02 by 0.1 costs
+	// 100; raising 03 by 0.1 costs 10.
+	proposal.MustInsert(0.5, cost.Linear{Rate: 500},
+		relation.String_("AcmeSoft"), relation.String_("cloud"), relation.Float(2e6))
+	proposal.MustInsert(0.3, cost.Linear{Rate: 1000},
+		relation.String_("ZStart"), relation.String_("sensor"), relation.Float(8e5))
+	proposal.MustInsert(0.4, cost.Linear{Rate: 100},
+		relation.String_("ZStart"), relation.String_("mobile"), relation.Float(9e5))
+	info.MustInsert(0.1, cost.Linear{Rate: 2000},
+		relation.String_("ZStart"), relation.Float(1.2e5))
+	info.MustInsert(0.9, nil, relation.String_("AcmeSoft"), relation.Float(5e6))
+
+	rbac := policy.NewRBAC()
+	rbac.AddRole("secretary")
+	rbac.AddRole("manager")
+	if err := rbac.AssignUser("sue", "secretary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbac.AssignUser("mark", "manager"); err != nil {
+		t.Fatal(err)
+	}
+	purposes := policy.NewPurposeTree()
+	if err := purposes.Add("analysis", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := purposes.Add("investment", ""); err != nil {
+		t.Fatal(err)
+	}
+	store := policy.NewStore(rbac, purposes)
+	if err := store.Add(policy.ConfidencePolicy{Role: "secretary", Purpose: "analysis", Beta: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(policy.ConfidencePolicy{Role: "manager", Purpose: "investment", Beta: 0.06}); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(c, store, solver)
+}
+
+const ventureQuery = `
+	SELECT DISTINCT CompanyInfo.Company, Income
+	FROM CompanyInfo JOIN Proposal ON CompanyInfo.Company = Proposal.Company
+	WHERE Funding < 1000000`
+
+func TestSecretarySeesResult(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "sue", Query: ventureQuery, Purpose: "analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.PolicyApplied || resp.Threshold != 0.05 {
+		t.Fatalf("policy: applied=%v β=%v", resp.PolicyApplied, resp.Threshold)
+	}
+	// p38 = 0.058 > 0.05: released.
+	if len(resp.Released) != 1 || len(resp.Withheld) != 0 {
+		t.Fatalf("released=%d withheld=%d", len(resp.Released), len(resp.Withheld))
+	}
+	if math.Abs(resp.Released[0].Confidence-0.058) > 1e-9 {
+		t.Fatalf("confidence = %v", resp.Released[0].Confidence)
+	}
+}
+
+func TestManagerBlockedThenImproved(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	req := Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0}
+	resp, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.058 < 0.06: withheld, proposal offered.
+	if len(resp.Released) != 0 || len(resp.Withheld) != 1 {
+		t.Fatalf("released=%d withheld=%d", len(resp.Released), len(resp.Withheld))
+	}
+	if resp.Proposal == nil {
+		t.Fatal("expected an improvement proposal")
+	}
+	// The cheap fix: raise tuple 03 (cost rate 100) by one δ = cost 10.
+	if math.Abs(resp.Proposal.Cost()-10) > 1e-9 {
+		t.Fatalf("proposal cost = %v, want 10", resp.Proposal.Cost())
+	}
+	incs := resp.Proposal.Increments()
+	if len(incs) != 1 || math.Abs(incs[0].To-0.5) > 1e-9 {
+		t.Fatalf("increments = %+v", incs)
+	}
+
+	// The manager accepts; the improvement is applied; re-evaluation
+	// releases the row (p38 = 0.065 > 0.06).
+	if err := e.Apply(resp.Proposal); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Released) != 1 {
+		t.Fatalf("after improvement: released=%d", len(resp2.Released))
+	}
+	if math.Abs(resp2.Released[0].Confidence-0.065) > 1e-9 {
+		t.Fatalf("after improvement: confidence = %v, want 0.065", resp2.Released[0].Confidence)
+	}
+	if resp2.Proposal != nil {
+		t.Fatal("no further proposal needed")
+	}
+}
+
+func TestEvaluateWithAllSolvers(t *testing.T) {
+	for _, s := range []strategy.Solver{
+		&strategy.Greedy{},
+		strategy.NewHeuristic(),
+		strategy.NewDivideAndConquer(),
+	} {
+		e := newVentureEngine(t, s)
+		resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if resp.Proposal == nil {
+			t.Fatalf("%s: no proposal", s.Name())
+		}
+		if math.Abs(resp.Proposal.Cost()-10) > 1e-9 {
+			t.Errorf("%s: cost %v, want 10", s.Name(), resp.Proposal.Cost())
+		}
+		if resp.Proposal.Solver() != s.Name() {
+			t.Errorf("solver name %q", resp.Proposal.Solver())
+		}
+	}
+}
+
+func TestNoPolicyReleasesEverything(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	// mark has no policy for "analysis" — open by default.
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "analysis", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PolicyApplied {
+		t.Fatal("no policy should apply")
+	}
+	if len(resp.Released) != 1 || resp.Proposal != nil {
+		t.Fatalf("released=%d proposal=%v", len(resp.Released), resp.Proposal)
+	}
+}
+
+func TestMinFractionZeroSkipsProposal(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Proposal != nil {
+		t.Fatal("MinFraction 0 should not trigger planning")
+	}
+}
+
+func TestBadQuerySurfacesError(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	if _, err := e.Evaluate(Request{User: "sue", Query: "SELECT nope FROM missing", Purpose: "analysis"}); err == nil {
+		t.Fatal("expected query error")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	if err := e.Apply(nil); err == nil {
+		t.Fatal("nil proposal should fail")
+	}
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the plan: Apply must refuse.
+	resp.Proposal.plan.Cost = 1
+	if err := e.Apply(resp.Proposal); err == nil {
+		t.Fatal("tampered proposal should be refused")
+	}
+}
+
+func TestUnimprovableTuplesAreFrozen(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	// Freeze tuples 02 and 03 (no cost functions) so only tuple 13
+	// could improve; the threshold is then unreachable if 13 is frozen
+	// too.
+	cat := e.Catalog()
+	tab, _ := cat.Table("Proposal")
+	for _, row := range tab.Rows() {
+		row.Cost = nil
+	}
+	info, _ := cat.Table("CompanyInfo")
+	for _, row := range info.Rows() {
+		row.Cost = nil
+	}
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Proposal != nil {
+		t.Fatal("no proposal should exist when nothing is improvable")
+	}
+}
+
+func TestResponseNeed(t *testing.T) {
+	r := &Response{
+		Released: make([]Row, 2),
+		Withheld: make([]Row, 3),
+	}
+	if n := r.Need(Request{MinFraction: 0.5}); n != 1 {
+		t.Errorf("need = %d, want ⌈0.5·5⌉−2 = 1", n)
+	}
+	if n := r.Need(Request{MinFraction: 0.2}); n != 0 {
+		t.Errorf("need = %d, want 0", n)
+	}
+	if n := r.Need(Request{MinFraction: 1.0}); n != 3 {
+		t.Errorf("need = %d, want 3", n)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resp.Report()
+	for _, want := range []string{"confidence", "β=0.06", "withheld 1", "raise tuple", "cost 10"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if !strings.Contains(resp.String(), "withheld 1") {
+		t.Errorf("String() = %q", resp.String())
+	}
+}
+
+func TestAdvisor(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewAdvisor(time.Minute, 2)
+	lead := adv.LeadTime(resp.Proposal)
+	if d := (lead - 10*time.Minute).Abs(); d > time.Millisecond {
+		t.Errorf("lead time = %v, want ≈10m (cost 10 × 1m)", lead)
+	}
+	if d := (adv.SerialTime(resp.Proposal) - 10*time.Minute).Abs(); d > time.Millisecond {
+		t.Errorf("serial time = %v", adv.SerialTime(resp.Proposal))
+	}
+	if adv.LeadTime(nil) != 0 || adv.SerialTime(nil) != 0 {
+		t.Error("nil proposal should cost no time")
+	}
+	// Parallelism: two increments of equal cost on two workers take one
+	// increment's duration.
+	if w := NewAdvisor(time.Minute, 0); w.Workers != 1 {
+		t.Error("workers clamp to 1")
+	}
+}
+
+func TestEvaluateMultiSharedPlan(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	reqs := []Request{
+		{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0},
+		{User: "mark", Query: `SELECT DISTINCT Company FROM Proposal WHERE Funding < 1000000`,
+			Purpose: "investment", MinFraction: 1.0},
+	}
+	resps, prop, err := e.EvaluateMulti(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("responses = %d", len(resps))
+	}
+	// Query 2's result (Candidate) has confidence 0.58 > 0.06: no need.
+	// Query 1 needs improvement; a shared plan must exist.
+	if prop == nil {
+		t.Fatal("expected a shared proposal")
+	}
+	if resps[0].Proposal != prop {
+		t.Fatal("query 1 should carry the shared proposal")
+	}
+	if resps[1].Proposal != nil {
+		t.Fatal("query 2 needed nothing")
+	}
+	if err := e.Apply(prop); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Evaluate(reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Released) != 1 {
+		t.Fatalf("after shared improvement: released = %d", len(resp.Released))
+	}
+}
+
+func TestEvaluateMultiBothNeedImprovement(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	// Tighten the manager policy so both queries fall short.
+	if err := e.Policies().Add(policy.ConfidencePolicy{Role: "manager", Purpose: "investment", Beta: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0},
+		{User: "mark", Query: `SELECT DISTINCT Company FROM Proposal WHERE Funding < 1000000`,
+			Purpose: "investment", MinFraction: 1.0},
+	}
+	resps, prop, err := e.EvaluateMulti(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop == nil {
+		t.Fatal("expected a shared proposal")
+	}
+	if err := e.Apply(prop); err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		resp, err := e.Evaluate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Need(req); got != 0 {
+			t.Errorf("query %d still needs %d rows after shared improvement (released %d, withheld %d)",
+				i, got, len(resps[i].Released), len(resp.Withheld))
+		}
+	}
+}
+
+func TestEvaluateMultiNoNeeds(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	reqs := []Request{
+		{User: "sue", Query: ventureQuery, Purpose: "analysis", MinFraction: 1.0},
+	}
+	resps, prop, err := e.EvaluateMulti(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop != nil {
+		t.Fatal("nothing to improve")
+	}
+	if len(resps[0].Released) != 1 {
+		t.Fatal("secretary query should release its row")
+	}
+}
+
+func TestResponseStats(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	resp, err := e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := resp.Stats()
+	if s.Total != 1 || s.Released != 0 || s.Withheld != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Min-0.058) > 1e-9 || math.Abs(s.Max-0.058) > 1e-9 || math.Abs(s.Mean-0.058) > 1e-9 {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min, s.Max, s.Mean)
+	}
+	if s.Histogram[0] != 1 {
+		t.Fatalf("histogram = %v", s.Histogram)
+	}
+	// Empty response.
+	empty := &Response{}
+	if st := empty.Stats(); st.Total != 0 || st.Min != 0 || st.Max != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestAdvisorLPTScheduling(t *testing.T) {
+	// Increments with costs 5, 4, 3, 3 on 2 workers: LPT gives loads
+	// (5+3, 4+3) → makespan 8 cost units.
+	in := &strategy.Instance{
+		Beta:  0.9,
+		Delta: 0.1,
+		Need:  4,
+	}
+	// Hand-build a proposal through the engine path: four independent
+	// single-tuple results needing a 0.5→0.9+ raise each, with linear
+	// rates chosen to produce the desired increment costs.
+	cat := relation.NewCatalog()
+	tab, err := cat.CreateTable("T", relation.NewSchema(relation.Column{Name: "a", Type: relation.TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = in
+	rates := []float64{12.5, 10, 7.5, 7.5} // ×0.4 raise = 5, 4, 3, 3
+	for i, rate := range rates {
+		tab.MustInsert(0.5, cost.Linear{Rate: rate}, relation.Int(int64(i)))
+	}
+	rbac := policy.NewRBAC()
+	rbac.AddRole("r")
+	if err := rbac.AssignUser("u", "r"); err != nil {
+		t.Fatal(err)
+	}
+	purposes := policy.NewPurposeTree()
+	if err := purposes.Add("p", ""); err != nil {
+		t.Fatal(err)
+	}
+	store := policy.NewStore(rbac, purposes)
+	if err := store.Add(policy.ConfidencePolicy{Role: "r", Purpose: "p", Beta: 0.89}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cat, store, nil)
+	resp, err := e.Evaluate(Request{User: "u", Purpose: "p", MinFraction: 1.0, Query: `SELECT a FROM T`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Proposal == nil {
+		t.Fatal("expected proposal")
+	}
+	incs := resp.Proposal.Increments()
+	if len(incs) != 4 {
+		t.Fatalf("increments = %d", len(incs))
+	}
+	adv := NewAdvisor(time.Hour, 2)
+	lead := adv.LeadTime(resp.Proposal)
+	if d := (lead - 8*time.Hour).Abs(); d > time.Minute {
+		t.Fatalf("LPT makespan = %v, want ≈8h", lead)
+	}
+	serial := adv.SerialTime(resp.Proposal)
+	if d := (serial - 15*time.Hour).Abs(); d > time.Minute {
+		t.Fatalf("serial = %v, want ≈15h", serial)
+	}
+	// Enough workers: makespan = longest single increment.
+	wide := NewAdvisor(time.Hour, 8)
+	if d := (wide.LeadTime(resp.Proposal) - 5*time.Hour).Abs(); d > time.Minute {
+		t.Fatalf("8-worker makespan = %v, want ≈5h", wide.LeadTime(resp.Proposal))
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/lineage"
+	"pcqe/internal/strategy"
+)
+
+// Proposal is the strategy finder's answer: which base tuples to
+// improve, to what confidence, and at what total cost. The user (or the
+// caller acting for them) accepts it with Engine.Apply.
+type Proposal struct {
+	instance *strategy.Instance
+	plan     *strategy.Plan
+	solver   string
+	// skipped counts withheld rows whose lineage could not enter the
+	// optimization (non-monotone lineage from EXCEPT-style queries).
+	skipped int
+	// user and purpose identify the request that triggered the
+	// proposal, for the audit journal.
+	user, purpose string
+}
+
+// Cost is the total improvement cost of the plan.
+func (p *Proposal) Cost() float64 { return p.plan.Cost }
+
+// Solver names the algorithm that produced the plan.
+func (p *Proposal) Solver() string { return p.solver }
+
+// Skipped reports how many withheld rows were not improvable (their
+// lineage contains negation).
+func (p *Proposal) Skipped() int { return p.skipped }
+
+// Increment is one suggested confidence raise.
+type Increment struct {
+	Var  lineage.Var
+	From float64
+	To   float64
+	Cost float64
+}
+
+// Increments lists the per-tuple raises in descending cost order.
+func (p *Proposal) Increments() []Increment {
+	var out []Increment
+	for i, b := range p.instance.Base {
+		np := p.plan.NewP[i]
+		if np > b.P+1e-12 {
+			out = append(out, Increment{
+				Var:  b.Var,
+				From: b.P,
+				To:   np,
+				Cost: b.Cost.Increment(b.P, np),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cost != out[b].Cost {
+			return out[a].Cost > out[b].Cost
+		}
+		return out[a].Var < out[b].Var
+	})
+	return out
+}
+
+// propose builds the optimization instance from the withheld rows and
+// solves it.
+func (e *Engine) propose(resp *Response, need int) (*Proposal, error) {
+	in := &strategy.Instance{
+		Beta: resp.Threshold + betaMargin,
+		// The paper's evaluation grid uses δ=0.1; keep it as the
+		// default planning granularity.
+		Delta: 0.1,
+	}
+	seen := map[lineage.Var]int{}
+	skipped := 0
+	for _, row := range resp.Withheld {
+		if !row.Tuple.Lineage.Monotone() {
+			skipped++
+			continue
+		}
+		// Simplification (idempotence/absorption) shrinks lineage that
+		// duplicate-eliminating operators inflated, which keeps the
+		// optimization formulas small and read-once where possible.
+		formula := lineage.Simplify(row.Tuple.Lineage)
+		for _, v := range formula.Vars() {
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			base, ok := e.catalog.BaseTupleByVar(v)
+			if !ok {
+				return nil, fmt.Errorf("core: lineage references unknown base tuple %d", int(v))
+			}
+			bt := strategy.BaseTuple{
+				Var:  v,
+				P:    base.Confidence,
+				MaxP: base.MaxConf,
+				Cost: base.Cost,
+			}
+			if bt.Cost == nil || base.Confidence >= base.MaxConf {
+				// Not improvable: freeze at the current confidence.
+				bt.MaxP = base.Confidence
+				if bt.MaxP == 0 {
+					bt.MaxP = 1e-12 // MaxP 0 means "default to 1" in strategy
+				}
+				bt.Cost = cost.Linear{Rate: 0}
+			}
+			seen[v] = len(in.Base)
+			in.Base = append(in.Base, bt)
+		}
+		in.Results = append(in.Results, strategy.Result{
+			ID:      len(in.Results),
+			Formula: formula,
+		})
+	}
+	if need > len(in.Results) {
+		need = len(in.Results)
+	}
+	if need == 0 {
+		return nil, strategy.ErrInfeasible
+	}
+	in.Need = need
+	plan, err := e.solver.Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Proposal{instance: in, plan: plan, solver: e.solver.Name(), skipped: skipped}, nil
+}
+
+// betaMargin lifts the optimization target infinitesimally above the
+// policy threshold: Definition 1 releases rows with confidence strictly
+// greater than β while the optimization constraints use ≥, so planning
+// exactly to β could satisfy the solver yet still fail the policy.
+const betaMargin = 1e-9
+
+// Apply performs the data-quality improvement step: it writes the
+// proposal's new confidences into the catalog. Re-evaluating the request
+// afterwards releases the additional rows.
+func (e *Engine) Apply(p *Proposal) error {
+	if p == nil {
+		return fmt.Errorf("core: nil proposal")
+	}
+	if err := p.instance.Verify(p.plan); err != nil {
+		return fmt.Errorf("core: refusing to apply inconsistent proposal: %w", err)
+	}
+	for i, b := range p.instance.Base {
+		np := p.plan.NewP[i]
+		if np > b.P+1e-12 {
+			if err := e.catalog.SetConfidence(b.Var, np); err != nil {
+				return fmt.Errorf("core: applying increment to tuple %d: %w", int(b.Var), err)
+			}
+		}
+	}
+	if e.audit != nil {
+		e.audit.record(AuditEvent{
+			Kind: AuditApply, User: p.user, Purpose: p.purpose,
+			Cost: p.plan.Cost, Increments: p.Increments(),
+		})
+	}
+	return nil
+}
+
+// EvaluateMulti implements the paper's multi-query extension
+// (Section 4, last paragraph): several queries issued in a short period
+// share one improvement plan. The search space is the union of the
+// queries' base tuples; a combined plan must cover every query's need.
+// Queries are planned sequentially against the accumulating confidence
+// assignment (the divide-and-conquer combination idea), and each
+// response's proposal is replaced by a shared one attached to every
+// response that needed improvement.
+func (e *Engine) EvaluateMulti(reqs []Request) ([]*Response, *Proposal, error) {
+	resps := make([]*Response, len(reqs))
+	// First pass: evaluate all queries without improvement planning.
+	for i, req := range reqs {
+		r := req
+		r.MinFraction = 0
+		resp, err := e.Evaluate(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+		resps[i] = resp
+	}
+
+	// Build a combined instance: every query contributes its withheld
+	// monotone rows, and carries its own need; the combined need is the
+	// sum, with the constraint expressed by solving sequentially.
+	combined := &strategy.Instance{Delta: 0.1}
+	seen := map[lineage.Var]int{}
+	var maxBeta float64
+	var blocks []queryBlock
+	for i, req := range reqs {
+		resp := resps[i]
+		if !resp.PolicyApplied || req.MinFraction <= 0 {
+			continue
+		}
+		need := resp.Need(req)
+		if need == 0 {
+			continue
+		}
+		if resp.Threshold > maxBeta {
+			maxBeta = resp.Threshold
+		}
+		first := len(combined.Results)
+		n := 0
+		for _, row := range resp.Withheld {
+			if !row.Tuple.Lineage.Monotone() {
+				continue
+			}
+			for _, v := range row.Tuple.Lineage.Vars() {
+				if _, ok := seen[v]; ok {
+					continue
+				}
+				base, ok := e.catalog.BaseTupleByVar(v)
+				if !ok {
+					return nil, nil, fmt.Errorf("core: lineage references unknown base tuple %d", int(v))
+				}
+				bt := strategy.BaseTuple{Var: v, P: base.Confidence, MaxP: base.MaxConf, Cost: base.Cost}
+				if bt.Cost == nil || base.Confidence >= base.MaxConf {
+					bt.MaxP = base.Confidence
+					if bt.MaxP == 0 {
+						bt.MaxP = 1e-12
+					}
+					bt.Cost = cost.Linear{Rate: 0}
+				}
+				seen[v] = len(combined.Base)
+				combined.Base = append(combined.Base, bt)
+			}
+			combined.Results = append(combined.Results, strategy.Result{
+				ID:      len(combined.Results),
+				Formula: row.Tuple.Lineage,
+			})
+			n++
+		}
+		if need > n {
+			need = n
+		}
+		if need > 0 {
+			blocks = append(blocks, queryBlock{first: first, count: n, need: need})
+		}
+	}
+	if len(blocks) == 0 {
+		return resps, nil, nil
+	}
+	// The per-query needs become one instance whose Need is the sum;
+	// the per-block minimums are enforced by post-checking and, if a
+	// block falls short, topping it up with a block-local solve that
+	// starts from the combined plan (mirrors the paper's "check whether
+	// a solution is found for all queries").
+	combined.Beta = maxBeta + betaMargin
+	totalNeed := 0
+	for _, b := range blocks {
+		totalNeed += b.need
+	}
+	combined.Need = totalNeed
+	plan, err := e.solver.Solve(combined)
+	if err != nil {
+		return resps, nil, nil // no feasible shared plan; responses stand alone
+	}
+	plan = topUpBlocks(e, combined, plan, blocks)
+	prop := &Proposal{instance: combined, plan: plan, solver: e.solver.Name()}
+	for i := range resps {
+		if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
+			resps[i].Proposal = prop
+			if prop.user == "" {
+				prop.user, prop.purpose = reqs[i].User, reqs[i].Purpose
+			}
+		}
+	}
+	return resps, prop, nil
+}
+
+// queryBlock identifies one query's slice of the combined instance's
+// results and its individual requirement.
+type queryBlock struct{ first, count, need int }
+
+// topUpBlocks ensures every query block meets its own need under the
+// combined plan; blocks that fall short are re-solved locally starting
+// from the combined confidences, then merged (max per tuple).
+func topUpBlocks(e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock) *strategy.Plan {
+	assign := func(p []float64) lineage.Assignment {
+		idx := map[lineage.Var]int{}
+		for i, b := range combined.Base {
+			idx[b.Var] = i
+		}
+		return lineage.FuncAssignment(func(v lineage.Var) float64 { return p[idx[v]] })
+	}
+	newP := append([]float64{}, plan.NewP...)
+	for _, blk := range blocks {
+		sat := 0
+		a := assign(newP)
+		for ri := blk.first; ri < blk.first+blk.count; ri++ {
+			if lineage.Prob(combined.Results[ri].Formula, a) >= combined.Beta {
+				sat++
+			}
+		}
+		if sat >= blk.need {
+			continue
+		}
+		// Local solve from the combined state.
+		sub := &strategy.Instance{Beta: combined.Beta, Delta: combined.Delta, Need: blk.need}
+		mapping := []int{}
+		seen := map[lineage.Var]bool{}
+		for ri := blk.first; ri < blk.first+blk.count; ri++ {
+			sub.Results = append(sub.Results, combined.Results[ri])
+			for _, v := range combined.Results[ri].Formula.Vars() {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				for bi, b := range combined.Base {
+					if b.Var == v {
+						nb := b
+						nb.P = newP[bi]
+						sub.Base = append(sub.Base, nb)
+						mapping = append(mapping, bi)
+					}
+				}
+			}
+		}
+		if sp, err := e.solver.Solve(sub); err == nil {
+			for si, bi := range mapping {
+				if sp.NewP[si] > newP[bi] {
+					newP[bi] = sp.NewP[si]
+				}
+			}
+		}
+	}
+	total := 0.0
+	for i, b := range combined.Base {
+		total += b.Cost.Increment(b.P, newP[i])
+	}
+	out := &strategy.Plan{NewP: newP, Cost: total, Nodes: plan.Nodes}
+	a := assign(newP)
+	for ri, r := range combined.Results {
+		if lineage.Prob(r.Formula, a) >= combined.Beta {
+			out.Satisfied = append(out.Satisfied, ri)
+		}
+	}
+	return out
+}

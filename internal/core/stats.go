@@ -1,0 +1,54 @@
+package core
+
+// Stats summarizes the confidence distribution of a response across both
+// released and withheld rows — the "how trustworthy is this result set"
+// overview a UI would chart next to the table.
+type Stats struct {
+	Total    int
+	Released int
+	Withheld int
+	// Min, Max and Mean confidence over all rows (0 when Total == 0).
+	Min, Max, Mean float64
+	// Histogram buckets confidences into deciles: bucket i counts rows
+	// with confidence in [i/10, (i+1)/10), except the last bucket which
+	// includes 1.0.
+	Histogram [10]int
+}
+
+// Stats computes the response's confidence summary.
+func (r *Response) Stats() Stats {
+	s := Stats{
+		Released: len(r.Released),
+		Withheld: len(r.Withheld),
+	}
+	s.Total = s.Released + s.Withheld
+	if s.Total == 0 {
+		return s
+	}
+	s.Min = 2
+	sum := 0.0
+	count := func(rows []Row) {
+		for _, row := range rows {
+			p := row.Confidence
+			sum += p
+			if p < s.Min {
+				s.Min = p
+			}
+			if p > s.Max {
+				s.Max = p
+			}
+			b := int(p * 10)
+			if b > 9 {
+				b = 9
+			}
+			if b < 0 {
+				b = 0
+			}
+			s.Histogram[b]++
+		}
+	}
+	count(r.Released)
+	count(r.Withheld)
+	s.Mean = sum / float64(s.Total)
+	return s
+}

@@ -1,0 +1,160 @@
+// Package cost models the expense of raising a base tuple's confidence.
+//
+// The paper (Section 3.2) assumes each data item carries a cost function
+// that maps a confidence increment to its price (time, money, auditing
+// effort, ...). The evaluation (Section 5.1) draws each tuple's function
+// from the binomial (quadratic), exponential and logarithm families; we
+// implement those plus a linear family and a tabulated function for
+// hand-authored scenarios.
+//
+// A Function reports the cumulative cost of holding a tuple at confidence
+// p, normalized so that the cost at the tuple's initial confidence is the
+// baseline: the price of an increment from p to p* is
+// Increment(p, p*) = at(p*) − at(p), which is non-negative whenever
+// p* ≥ p for the monotone families here.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function prices confidence levels for one base tuple.
+type Function interface {
+	// Increment returns the cost of raising confidence from p to pStar.
+	// Implementations return 0 when pStar <= p.
+	Increment(p, pStar float64) float64
+	// String describes the function (family and coefficients).
+	String() string
+}
+
+// Linear charges Rate per unit of confidence: cost(p→p*) = Rate·(p*−p).
+type Linear struct {
+	Rate float64
+}
+
+// Increment implements Function.
+func (l Linear) Increment(p, pStar float64) float64 {
+	if pStar <= p {
+		return 0
+	}
+	return l.Rate * (pStar - p)
+}
+
+func (l Linear) String() string { return fmt.Sprintf("linear(rate=%g)", l.Rate) }
+
+// Quadratic (the paper's "binomial" family) charges A·p² + B·p
+// cumulatively, so increments get more expensive near 1: verifying the
+// last doubts about a record costs more than the first sanity check.
+type Quadratic struct {
+	A, B float64
+}
+
+// Increment implements Function.
+func (q Quadratic) Increment(p, pStar float64) float64 {
+	if pStar <= p {
+		return 0
+	}
+	return q.at(pStar) - q.at(p)
+}
+
+func (q Quadratic) at(p float64) float64 { return q.A*p*p + q.B*p }
+
+func (q Quadratic) String() string { return fmt.Sprintf("quadratic(a=%g,b=%g)", q.A, q.B) }
+
+// Exponential charges Scale·(e^(Rate·p) − 1) cumulatively; increments
+// near 1 are dramatically more expensive.
+type Exponential struct {
+	Scale, Rate float64
+}
+
+// Increment implements Function.
+func (e Exponential) Increment(p, pStar float64) float64 {
+	if pStar <= p {
+		return 0
+	}
+	return e.at(pStar) - e.at(p)
+}
+
+func (e Exponential) at(p float64) float64 { return e.Scale * (math.Exp(e.Rate*p) - 1) }
+
+func (e Exponential) String() string {
+	return fmt.Sprintf("exponential(scale=%g,rate=%g)", e.Scale, e.Rate)
+}
+
+// Logarithmic charges Scale·log(1 + Rate·p) cumulatively; early gains are
+// expensive relative to later ones (diminishing marginal cost).
+type Logarithmic struct {
+	Scale, Rate float64
+}
+
+// Increment implements Function.
+func (l Logarithmic) Increment(p, pStar float64) float64 {
+	if pStar <= p {
+		return 0
+	}
+	return l.at(pStar) - l.at(p)
+}
+
+func (l Logarithmic) at(p float64) float64 { return l.Scale * math.Log(1+l.Rate*p) }
+
+func (l Logarithmic) String() string {
+	return fmt.Sprintf("logarithmic(scale=%g,rate=%g)", l.Scale, l.Rate)
+}
+
+// Table interpolates cost over explicit (confidence, cumulative cost)
+// breakpoints, for hand-authored scenarios such as "registry data is
+// cheap until 0.7, then survey data is needed".
+type Table struct {
+	// Points must be sorted by P ascending with non-decreasing C.
+	Points []Point
+}
+
+// Point is a (confidence, cumulative cost) breakpoint.
+type Point struct {
+	P, C float64
+}
+
+// Increment implements Function by piecewise-linear interpolation.
+func (t Table) Increment(p, pStar float64) float64 {
+	if pStar <= p {
+		return 0
+	}
+	return t.at(pStar) - t.at(p)
+}
+
+func (t Table) at(p float64) float64 {
+	pts := t.Points
+	if len(pts) == 0 {
+		return 0
+	}
+	if p <= pts[0].P {
+		return pts[0].C
+	}
+	for i := 1; i < len(pts); i++ {
+		if p <= pts[i].P {
+			span := pts[i].P - pts[i-1].P
+			if span <= 0 {
+				return pts[i].C
+			}
+			frac := (p - pts[i-1].P) / span
+			return pts[i-1].C + frac*(pts[i].C-pts[i-1].C)
+		}
+	}
+	return pts[len(pts)-1].C
+}
+
+func (t Table) String() string { return fmt.Sprintf("table(%d points)", len(t.Points)) }
+
+// Validate checks that the table's breakpoints are sorted and monotone.
+func (t Table) Validate() error {
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].P < t.Points[i-1].P {
+			return fmt.Errorf("cost: table point %d out of order (p=%g after p=%g)", i, t.Points[i].P, t.Points[i-1].P)
+		}
+		if t.Points[i].C < t.Points[i-1].C {
+			return fmt.Errorf("cost: table point %d decreases cost (c=%g after c=%g)", i, t.Points[i].C, t.Points[i-1].C)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear(t *testing.T) {
+	f := Linear{Rate: 100}
+	if got := f.Increment(0.3, 0.4); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Increment(0.3,0.4) = %v, want 10", got)
+	}
+	if got := f.Increment(0.4, 0.3); got != 0 {
+		t.Errorf("decreasing increment should be free, got %v", got)
+	}
+	if got := f.Increment(0.5, 0.5); got != 0 {
+		t.Errorf("no-op increment should be free, got %v", got)
+	}
+}
+
+func TestQuadraticMarginalIncreases(t *testing.T) {
+	f := Quadratic{A: 10, B: 1}
+	low := f.Increment(0.1, 0.2)
+	high := f.Increment(0.8, 0.9)
+	if high <= low {
+		t.Errorf("quadratic marginal cost should increase: low=%v high=%v", low, high)
+	}
+}
+
+func TestExponentialMarginalIncreases(t *testing.T) {
+	f := Exponential{Scale: 1, Rate: 3}
+	if f.Increment(0.8, 0.9) <= f.Increment(0.1, 0.2) {
+		t.Error("exponential marginal cost should increase")
+	}
+}
+
+func TestLogarithmicMarginalDecreases(t *testing.T) {
+	f := Logarithmic{Scale: 1, Rate: 9}
+	if f.Increment(0.8, 0.9) >= f.Increment(0.1, 0.2) {
+		t.Error("logarithmic marginal cost should decrease")
+	}
+}
+
+func TestTable(t *testing.T) {
+	f := Table{Points: []Point{{0, 0}, {0.5, 10}, {1, 110}}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Increment(0, 0.5); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Increment(0,0.5) = %v, want 10", got)
+	}
+	if got := f.Increment(0.5, 1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Increment(0.5,1) = %v, want 100", got)
+	}
+	// Interpolation inside a segment.
+	if got := f.Increment(0, 0.25); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Increment(0,0.25) = %v, want 5", got)
+	}
+	// Out of range clamps.
+	if got := f.Increment(-1, 0); got != 0 {
+		t.Errorf("below-range increment = %v", got)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	bad := Table{Points: []Point{{0.5, 0}, {0.1, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected out-of-order error")
+	}
+	dec := Table{Points: []Point{{0, 5}, {1, 1}}}
+	if err := dec.Validate(); err == nil {
+		t.Error("expected decreasing-cost error")
+	}
+	if err := (Table{}).Validate(); err != nil {
+		t.Errorf("empty table should validate: %v", err)
+	}
+	if got := (Table{}).Increment(0, 1); got != 0 {
+		t.Errorf("empty table increment = %v", got)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	names := map[Family]string{
+		FamilyLinear:      "linear",
+		FamilyQuadratic:   "quadratic",
+		FamilyExponential: "exponential",
+		FamilyLogarithmic: "logarithmic",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestRandomFullRaiseInBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, fam := range []Family{FamilyLinear, FamilyQuadratic, FamilyExponential, FamilyLogarithmic} {
+		for i := 0; i < 50; i++ {
+			f := Random(r, fam, 10)
+			full := f.Increment(0, 1)
+			if full < 10-1e-9 || full > 100+1e-9 {
+				t.Errorf("%v: full raise cost %v outside [10,100]", f, full)
+			}
+		}
+	}
+}
+
+func TestPropertyIncrementNonNegativeAndAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64, a, b, c float64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		fn := RandomAny(rr, 1)
+		// Normalize a,b,c into sorted points in [0,1].
+		pts := []float64{frac(a), frac(b), frac(c)}
+		if pts[0] > pts[1] {
+			pts[0], pts[1] = pts[1], pts[0]
+		}
+		if pts[1] > pts[2] {
+			pts[1], pts[2] = pts[2], pts[1]
+		}
+		if pts[0] > pts[1] {
+			pts[0], pts[1] = pts[1], pts[0]
+		}
+		lo, mid, hi := pts[0], pts[1], pts[2]
+		inc := fn.Increment(lo, hi)
+		if inc < 0 {
+			return false
+		}
+		// Cumulative consistency: cost(lo→hi) = cost(lo→mid)+cost(mid→hi).
+		sum := fn.Increment(lo, mid) + fn.Increment(mid, hi)
+		return math.Abs(inc-sum) < 1e-6*(1+inc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frac(x float64) float64 {
+	x = math.Abs(x)
+	x -= math.Floor(x)
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	return x
+}
+
+func TestStringers(t *testing.T) {
+	fns := []Function{
+		Linear{Rate: 1},
+		Quadratic{A: 1, B: 2},
+		Exponential{Scale: 1, Rate: 2},
+		Logarithmic{Scale: 1, Rate: 2},
+		Table{Points: []Point{{0, 0}}},
+	}
+	for _, f := range fns {
+		if f.String() == "" {
+			t.Errorf("%T has empty String()", f)
+		}
+	}
+}
+
+func TestRandomPaperUsesPaperFamilies(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	sawQuad, sawExp, sawLog := false, false, false
+	for i := 0; i < 200; i++ {
+		switch RandomPaper(r, 1).(type) {
+		case Quadratic:
+			sawQuad = true
+		case Exponential:
+			sawExp = true
+		case Logarithmic:
+			sawLog = true
+		case Linear:
+			t.Fatal("paper families exclude linear")
+		}
+	}
+	if !sawQuad || !sawExp || !sawLog {
+		t.Fatalf("families seen: quad=%v exp=%v log=%v", sawQuad, sawExp, sawLog)
+	}
+}
+
+func TestTableIncrementNoOp(t *testing.T) {
+	f := Table{Points: []Point{{0, 0}, {1, 10}}}
+	if got := f.Increment(0.5, 0.5); got != 0 {
+		t.Errorf("no-op increment = %v", got)
+	}
+	if got := f.Increment(0.6, 0.4); got != 0 {
+		t.Errorf("downward increment = %v", got)
+	}
+}

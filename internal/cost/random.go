@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Family identifies a cost-function family for random generation.
+type Family int
+
+// The families named in the paper's evaluation (Section 5.1) plus linear.
+const (
+	FamilyLinear Family = iota
+	FamilyQuadratic
+	FamilyExponential
+	FamilyLogarithmic
+	numFamilies
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyLinear:
+		return "linear"
+	case FamilyQuadratic:
+		return "quadratic"
+	case FamilyExponential:
+		return "exponential"
+	case FamilyLogarithmic:
+		return "logarithmic"
+	}
+	return fmt.Sprintf("family(%d)", int(f))
+}
+
+// PaperFamilies are the three families used by the paper's synthetic
+// workload: "binomial, exponential and logarithm functions".
+var PaperFamilies = []Family{FamilyQuadratic, FamilyExponential, FamilyLogarithmic}
+
+// Random draws a function from the given family with coefficients scaled
+// so that a full 0→1 confidence raise costs on the order of base·[1,10].
+func Random(r *rand.Rand, f Family, base float64) Function {
+	scale := base * (1 + 9*r.Float64())
+	switch f {
+	case FamilyLinear:
+		return Linear{Rate: scale}
+	case FamilyQuadratic:
+		// Split the full-raise budget between the quadratic and linear
+		// terms: A + B = scale.
+		a := scale * r.Float64()
+		return Quadratic{A: a, B: scale - a}
+	case FamilyExponential:
+		rate := 1 + 3*r.Float64()
+		// Normalize so at(1) == scale.
+		denom := expm1(rate)
+		return Exponential{Scale: scale / denom, Rate: rate}
+	case FamilyLogarithmic:
+		rate := 1 + 9*r.Float64()
+		return Logarithmic{Scale: scale / logp1(rate), Rate: rate}
+	}
+	panic("cost: unknown family " + f.String())
+}
+
+// RandomPaper draws a function uniformly from the paper's three families.
+func RandomPaper(r *rand.Rand, base float64) Function {
+	return Random(r, PaperFamilies[r.Intn(len(PaperFamilies))], base)
+}
+
+// RandomAny draws a function uniformly over all implemented families.
+func RandomAny(r *rand.Rand, base float64) Function {
+	return Random(r, Family(r.Intn(int(numFamilies))), base)
+}
+
+func expm1(x float64) float64 {
+	e := Exponential{Scale: 1, Rate: x}
+	return e.at(1)
+}
+
+func logp1(x float64) float64 {
+	l := Logarithmic{Scale: 1, Rate: x}
+	return l.at(1)
+}

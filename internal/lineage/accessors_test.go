@@ -1,0 +1,47 @@
+package lineage
+
+import "testing"
+
+func TestKindAccessors(t *testing.T) {
+	v := NewVar(7)
+	if v.Kind() != KindVar || v.Variable() != 7 {
+		t.Error("var accessors")
+	}
+	and := And(NewVar(1), NewVar(2))
+	if and.Kind() != KindAnd || len(and.Children()) != 2 {
+		t.Error("and accessors")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Variable on non-var should panic")
+		}
+	}()
+	and.Variable()
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindFalse: "false", KindTrue: "true", KindVar: "var",
+		KindNot: "not", KindAnd: "and", KindOr: "or",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	if v, ok := True().IsConst(); !ok || !v {
+		t.Error("⊤")
+	}
+	if v, ok := False().IsConst(); !ok || v {
+		t.Error("⊥")
+	}
+	if _, ok := NewVar(1).IsConst(); ok {
+		t.Error("var is not const")
+	}
+}

@@ -1,0 +1,91 @@
+package lineage
+
+// Derivatives computes ∂P(e)/∂p(v) for every variable v of e in a
+// single O(size) two-pass sweep when e is read-once (each variable
+// occurs at most once). For formulas with shared variables it falls back
+// to per-variable Shannon evaluation (exact, but O(vars · 2^shared)).
+//
+// The two-pass algorithm: the "inside" pass computes the probability of
+// every subtree; the "outside" pass pushes down the partial derivative
+// of the root with respect to each subtree —
+//
+//	AND:  ∂P/∂child_i = outside · Π_{j≠i} P(child_j)
+//	OR:   ∂P/∂child_i = outside · Π_{j≠i} (1 − P(child_j))
+//	NOT:  ∂P/∂child   = −outside
+//
+// At a leaf the accumulated outside value is exactly ∂P/∂p(var).
+func Derivatives(e *Expr, assign Assignment) map[Var]float64 {
+	out := make(map[Var]float64)
+	if e.ReadOnce() {
+		inside := map[*Expr]float64{}
+		insidePass(e, assign, inside)
+		outsidePass(e, 1, inside, out)
+		return out
+	}
+	for _, v := range e.Vars() {
+		out[v] = Derivative(e, assign, v)
+	}
+	return out
+}
+
+func insidePass(e *Expr, assign Assignment, memo map[*Expr]float64) float64 {
+	var p float64
+	switch e.kind {
+	case KindFalse:
+		p = 0
+	case KindTrue:
+		p = 1
+	case KindVar:
+		p = clamp01(assign.ProbOf(e.v))
+	case KindNot:
+		p = 1 - insidePass(e.children[0], assign, memo)
+	case KindAnd:
+		p = 1
+		for _, c := range e.children {
+			p *= insidePass(c, assign, memo)
+		}
+	case KindOr:
+		q := 1.0
+		for _, c := range e.children {
+			q *= 1 - insidePass(c, assign, memo)
+		}
+		p = 1 - q
+	}
+	memo[e] = p
+	return p
+}
+
+func outsidePass(e *Expr, outside float64, inside map[*Expr]float64, out map[Var]float64) {
+	switch e.kind {
+	case KindVar:
+		out[e.v] += outside
+	case KindNot:
+		outsidePass(e.children[0], -outside, inside, out)
+	case KindAnd:
+		// Products of sibling probabilities, computed with prefix and
+		// suffix products to stay linear even with zeros.
+		n := len(e.children)
+		prefix := make([]float64, n+1)
+		prefix[0] = 1
+		for i, c := range e.children {
+			prefix[i+1] = prefix[i] * inside[c]
+		}
+		suffix := 1.0
+		for i := n - 1; i >= 0; i-- {
+			outsidePass(e.children[i], outside*prefix[i]*suffix, inside, out)
+			suffix *= inside[e.children[i]]
+		}
+	case KindOr:
+		n := len(e.children)
+		prefix := make([]float64, n+1)
+		prefix[0] = 1
+		for i, c := range e.children {
+			prefix[i+1] = prefix[i] * (1 - inside[c])
+		}
+		suffix := 1.0
+		for i := n - 1; i >= 0; i-- {
+			outsidePass(e.children[i], outside*prefix[i]*suffix, inside, out)
+			suffix *= 1 - inside[e.children[i]]
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Literal is a possibly-negated variable inside a DNF clause.
+type Literal struct {
+	Var     Var
+	Negated bool
+}
+
+// String renders the literal as "t3" or "!t3".
+func (l Literal) String() string {
+	if l.Negated {
+		return fmt.Sprintf("!t%d", int(l.Var))
+	}
+	return fmt.Sprintf("t%d", int(l.Var))
+}
+
+// Clause is a conjunction of literals. A nil or empty clause is the
+// constant true.
+type Clause []Literal
+
+// DNF is a disjunction of clauses. A nil or empty DNF is the constant
+// false.
+type DNF []Clause
+
+// MaxDNFClauses caps DNF expansion; beyond it ToDNF returns an error
+// rather than blowing up memory (DNF size can be exponential).
+const MaxDNFClauses = 4096
+
+// ToDNF converts e into disjunctive normal form. Negations are first
+// pushed to the leaves (De Morgan), then products are distributed over
+// sums. Contradictory clauses (x ∧ ¬x) are dropped and duplicate literals
+// within a clause are merged.
+func ToDNF(e *Expr) (DNF, error) {
+	return toDNF(e, false)
+}
+
+func toDNF(e *Expr, negated bool) (DNF, error) {
+	switch e.kind {
+	case KindFalse:
+		if negated {
+			return DNF{Clause{}}, nil
+		}
+		return DNF{}, nil
+	case KindTrue:
+		if negated {
+			return DNF{}, nil
+		}
+		return DNF{Clause{}}, nil
+	case KindVar:
+		return DNF{Clause{{Var: e.v, Negated: negated}}}, nil
+	case KindNot:
+		return toDNF(e.children[0], !negated)
+	case KindAnd, KindOr:
+		conjunctive := e.kind == KindAnd
+		if negated {
+			conjunctive = !conjunctive // De Morgan
+		}
+		if conjunctive {
+			acc := DNF{Clause{}}
+			for _, c := range e.children {
+				d, err := toDNF(c, negated)
+				if err != nil {
+					return nil, err
+				}
+				acc, err = crossProduct(acc, d)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return acc, nil
+		}
+		var acc DNF
+		for _, c := range e.children {
+			d, err := toDNF(c, negated)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, d...)
+			if len(acc) > MaxDNFClauses {
+				return nil, fmt.Errorf("lineage: DNF exceeds %d clauses", MaxDNFClauses)
+			}
+		}
+		return acc, nil
+	}
+	panic("lineage: bad kind")
+}
+
+func crossProduct(a, b DNF) (DNF, error) {
+	out := make(DNF, 0, len(a)*len(b))
+	for _, ca := range a {
+		for _, cb := range b {
+			if merged, ok := mergeClauses(ca, cb); ok {
+				out = append(out, merged)
+				if len(out) > MaxDNFClauses {
+					return nil, fmt.Errorf("lineage: DNF exceeds %d clauses", MaxDNFClauses)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeClauses concatenates two clauses, deduplicating literals; it
+// reports ok=false when the result is contradictory.
+func mergeClauses(a, b Clause) (Clause, bool) {
+	polarity := make(map[Var]bool, len(a)+len(b))
+	out := make(Clause, 0, len(a)+len(b))
+	for _, lits := range [][]Literal{a, b} {
+		for _, l := range lits {
+			if neg, seen := polarity[l.Var]; seen {
+				if neg != l.Negated {
+					return nil, false
+				}
+				continue
+			}
+			polarity[l.Var] = l.Negated
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return !out[i].Negated && out[j].Negated
+	})
+	return out, true
+}
+
+// Expr converts the DNF back into a lineage expression.
+func (d DNF) Expr() *Expr {
+	clauses := make([]*Expr, 0, len(d))
+	for _, c := range d {
+		lits := make([]*Expr, 0, len(c))
+		for _, l := range c {
+			v := NewVar(l.Var)
+			if l.Negated {
+				v = Not(v)
+			}
+			lits = append(lits, v)
+		}
+		clauses = append(clauses, And(lits...))
+	}
+	return Or(clauses...)
+}
+
+// String renders the DNF as "t1&t2 | t3".
+func (d DNF) String() string {
+	if len(d) == 0 {
+		return "⊥"
+	}
+	s := ""
+	for i, c := range d {
+		if i > 0 {
+			s += " | "
+		}
+		if len(c) == 0 {
+			s += "⊤"
+			continue
+		}
+		for j, l := range c {
+			if j > 0 {
+				s += "&"
+			}
+			s += l.String()
+		}
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestToDNFSimple(t *testing.T) {
+	// (a ∨ b) ∧ c → a&c | b&c
+	e := And(Or(NewVar(1), NewVar(2)), NewVar(3))
+	d, err := ToDNF(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "t1&t3 | t2&t3" {
+		t.Fatalf("DNF = %q", got)
+	}
+}
+
+func TestToDNFConstants(t *testing.T) {
+	if d, err := ToDNF(False()); err != nil || len(d) != 0 {
+		t.Fatalf("DNF(⊥) = %v, %v", d, err)
+	}
+	d, err := ToDNF(True())
+	if err != nil || len(d) != 1 || len(d[0]) != 0 {
+		t.Fatalf("DNF(⊤) = %v, %v", d, err)
+	}
+	if d.String() != "⊤" {
+		t.Fatalf("DNF(⊤).String = %q", d.String())
+	}
+}
+
+func TestToDNFNegation(t *testing.T) {
+	// ¬(a ∧ b) → !a | !b
+	d, err := ToDNF(Not(And(NewVar(1), NewVar(2))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "!t1 | !t2" {
+		t.Fatalf("DNF = %q", got)
+	}
+}
+
+func TestToDNFDropsContradictions(t *testing.T) {
+	// (a ∧ ¬a) ∨ b → b
+	e := Or(And(NewVar(1), Not(NewVar(1))), NewVar(2))
+	d, err := ToDNF(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "t2" {
+		t.Fatalf("DNF = %q", got)
+	}
+}
+
+func TestDNFMergesDuplicateLiterals(t *testing.T) {
+	// a ∧ a → single-literal clause.
+	d, err := ToDNF(And(NewVar(1), NewVar(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 || len(d[0]) != 1 {
+		t.Fatalf("DNF = %v", d)
+	}
+}
+
+func TestToDNFExplosionGuard(t *testing.T) {
+	// A conjunction of n binary disjunctions has 2^n clauses; with n=13
+	// that is 8192 > MaxDNFClauses.
+	var conj []*Expr
+	for i := 0; i < 13; i++ {
+		conj = append(conj, Or(NewVar(Var(2*i)), NewVar(Var(2*i+1))))
+	}
+	if _, err := ToDNF(And(conj...)); err == nil {
+		t.Fatal("expected clause-limit error")
+	}
+}
+
+func TestPropertyDNFEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func(seed int64, truthBits uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := randomExpr(rr, 5, 3)
+		d, err := ToDNF(e)
+		if err != nil {
+			return true // explosion guard tripped; nothing to compare
+		}
+		back := d.Expr()
+		assign := map[Var]bool{}
+		for i := 0; i < 5; i++ {
+			assign[Var(i)] = truthBits&(1<<i) != 0
+		}
+		return e.Eval(assign) == back.Eval(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if (Literal{Var: 3}).String() != "t3" {
+		t.Error("positive literal")
+	}
+	if (Literal{Var: 3, Negated: true}).String() != "!t3" {
+		t.Error("negative literal")
+	}
+}

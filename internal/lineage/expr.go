@@ -1,0 +1,356 @@
+// Package lineage implements Boolean lineage expressions over base-tuple
+// variables and exact probability computation under the independent-tuple
+// semantics used by probabilistic databases (Trio-style).
+//
+// A lineage expression records how a derived (intermediate) query result
+// was produced from base tuples: a join contributes a conjunction, a
+// duplicate-eliminating projection or a union contributes a disjunction,
+// and a negated subquery contributes a negation. Given a confidence
+// (probability) for every base tuple, the confidence of the derived result
+// is the probability that its lineage formula is true when each variable
+// is an independent Bernoulli event.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var identifies a base tuple. Values are assigned by the caller (for the
+// relational engine they are catalog-wide tuple identifiers).
+type Var int
+
+// Kind enumerates the node kinds of a lineage expression tree.
+type Kind uint8
+
+// Expression node kinds.
+const (
+	KindFalse Kind = iota // constant false (empty disjunction)
+	KindTrue              // constant true (empty conjunction)
+	KindVar               // a base-tuple variable
+	KindNot               // negation of a single child
+	KindAnd               // conjunction of children
+	KindOr                // disjunction of children
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFalse:
+		return "false"
+	case KindTrue:
+		return "true"
+	case KindVar:
+		return "var"
+	case KindNot:
+		return "not"
+	case KindAnd:
+		return "and"
+	case KindOr:
+		return "or"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Expr is an immutable lineage expression node. Construct expressions with
+// the False, True, NewVar, Not, And and Or constructors; they apply local
+// simplifications (unit laws, flattening) so that the shape stays small.
+type Expr struct {
+	kind     Kind
+	v        Var     // valid when kind == KindVar
+	children []*Expr // valid for KindNot (len 1), KindAnd, KindOr
+}
+
+var (
+	exprFalse = &Expr{kind: KindFalse}
+	exprTrue  = &Expr{kind: KindTrue}
+)
+
+// False returns the constant-false expression (lineage of an impossible
+// result).
+func False() *Expr { return exprFalse }
+
+// True returns the constant-true expression (lineage of a certain result).
+func True() *Expr { return exprTrue }
+
+// NewVar returns the expression consisting of the single variable v.
+func NewVar(v Var) *Expr { return &Expr{kind: KindVar, v: v} }
+
+// Not returns the negation of e, simplifying constants and double
+// negation.
+func Not(e *Expr) *Expr {
+	switch e.kind {
+	case KindFalse:
+		return exprTrue
+	case KindTrue:
+		return exprFalse
+	case KindNot:
+		return e.children[0]
+	}
+	return &Expr{kind: KindNot, children: []*Expr{e}}
+}
+
+// And returns the conjunction of es. Constant-true children are dropped, a
+// constant-false child collapses the result, nested conjunctions are
+// flattened, and zero children yield True.
+func And(es ...*Expr) *Expr { return nary(KindAnd, es) }
+
+// Or returns the disjunction of es. Constant-false children are dropped, a
+// constant-true child collapses the result, nested disjunctions are
+// flattened, and zero children yield False.
+func Or(es ...*Expr) *Expr { return nary(KindOr, es) }
+
+func nary(kind Kind, es []*Expr) *Expr {
+	unit, zero := exprTrue, exprFalse
+	if kind == KindOr {
+		unit, zero = exprFalse, exprTrue
+	}
+	children := make([]*Expr, 0, len(es))
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		switch {
+		case e.kind == unit.kind:
+			// identity element: drop
+		case e.kind == zero.kind:
+			return zero
+		case e.kind == kind:
+			children = append(children, e.children...)
+		default:
+			children = append(children, e)
+		}
+	}
+	switch len(children) {
+	case 0:
+		return unit
+	case 1:
+		return children[0]
+	}
+	return &Expr{kind: kind, children: children}
+}
+
+// Kind reports the node kind of e.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// Variable returns the variable of a KindVar node. It panics on other
+// kinds; check Kind first.
+func (e *Expr) Variable() Var {
+	if e.kind != KindVar {
+		panic("lineage: Variable called on " + e.kind.String() + " node")
+	}
+	return e.v
+}
+
+// Children returns the child expressions of e. The returned slice must not
+// be modified.
+func (e *Expr) Children() []*Expr { return e.children }
+
+// IsConst reports whether e is a constant, and its value if so.
+func (e *Expr) IsConst() (value, isConst bool) {
+	switch e.kind {
+	case KindTrue:
+		return true, true
+	case KindFalse:
+		return false, true
+	}
+	return false, false
+}
+
+// Vars returns the sorted set of distinct variables occurring in e.
+func (e *Expr) Vars() []Var {
+	seen := map[Var]struct{}{}
+	e.walkVars(func(v Var) { seen[v] = struct{}{} })
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VarCounts returns the number of occurrences of each variable in e.
+func (e *Expr) VarCounts() map[Var]int {
+	counts := map[Var]int{}
+	e.walkVars(func(v Var) { counts[v]++ })
+	return counts
+}
+
+func (e *Expr) walkVars(f func(Var)) {
+	switch e.kind {
+	case KindVar:
+		f(e.v)
+	case KindNot, KindAnd, KindOr:
+		for _, c := range e.children {
+			c.walkVars(f)
+		}
+	}
+}
+
+// Size returns the number of nodes in e.
+func (e *Expr) Size() int {
+	n := 1
+	for _, c := range e.children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the expression tree; constants and single
+// variables have depth 1.
+func (e *Expr) Depth() int {
+	d := 0
+	for _, c := range e.children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// ReadOnce reports whether every variable occurs at most once in e. Such
+// formulas admit linear-time exact probability evaluation.
+func (e *Expr) ReadOnce() bool {
+	for _, n := range e.VarCounts() {
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates e as a Boolean formula under the given truth assignment.
+// Variables absent from the map are treated as false.
+func (e *Expr) Eval(assign map[Var]bool) bool {
+	switch e.kind {
+	case KindFalse:
+		return false
+	case KindTrue:
+		return true
+	case KindVar:
+		return assign[e.v]
+	case KindNot:
+		return !e.children[0].Eval(assign)
+	case KindAnd:
+		for _, c := range e.children {
+			if !c.Eval(assign) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, c := range e.children {
+			if c.Eval(assign) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("lineage: bad kind")
+}
+
+// String renders e in a compact infix form, e.g. "((t2 | t3) & t13)".
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e *Expr) format(b *strings.Builder) {
+	switch e.kind {
+	case KindFalse:
+		b.WriteString("⊥")
+	case KindTrue:
+		b.WriteString("⊤")
+	case KindVar:
+		fmt.Fprintf(b, "t%d", int(e.v))
+	case KindNot:
+		b.WriteString("!")
+		e.children[0].format(b)
+	case KindAnd, KindOr:
+		sep := " & "
+		if e.kind == KindOr {
+			sep = " | "
+		}
+		b.WriteString("(")
+		for i, c := range e.children {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			c.format(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.kind != b.kind {
+		return false
+	}
+	if a.kind == KindVar {
+		return a.v == b.v
+	}
+	if len(a.children) != len(b.children) {
+		return false
+	}
+	for i := range a.children {
+		if !Equal(a.children[i], b.children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns e with every occurrence of v replaced by the constant
+// value, simplifying as it rebuilds.
+func (e *Expr) Substitute(v Var, value bool) *Expr {
+	switch e.kind {
+	case KindFalse, KindTrue:
+		return e
+	case KindVar:
+		if e.v != v {
+			return e
+		}
+		if value {
+			return exprTrue
+		}
+		return exprFalse
+	case KindNot:
+		return Not(e.children[0].Substitute(v, value))
+	case KindAnd, KindOr:
+		children := make([]*Expr, len(e.children))
+		for i, c := range e.children {
+			children[i] = c.Substitute(v, value)
+		}
+		return nary(e.kind, children)
+	}
+	panic("lineage: bad kind")
+}
+
+// Rename returns e with every variable replaced per the mapping. Variables
+// not present in the mapping are kept.
+func (e *Expr) Rename(mapping map[Var]Var) *Expr {
+	switch e.kind {
+	case KindFalse, KindTrue:
+		return e
+	case KindVar:
+		if nv, ok := mapping[e.v]; ok {
+			return NewVar(nv)
+		}
+		return e
+	case KindNot:
+		return Not(e.children[0].Rename(mapping))
+	case KindAnd, KindOr:
+		children := make([]*Expr, len(e.children))
+		for i, c := range e.children {
+			children[i] = c.Rename(mapping)
+		}
+		return nary(e.kind, children)
+	}
+	panic("lineage: bad kind")
+}

@@ -1,0 +1,229 @@
+package lineage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Assignment supplies the probability (confidence) of each base-tuple
+// variable. Implementations must return values in [0,1].
+type Assignment interface {
+	ProbOf(v Var) float64
+}
+
+// MapAssignment is an Assignment backed by a map. Missing variables have
+// probability 0.
+type MapAssignment map[Var]float64
+
+// ProbOf implements Assignment.
+func (m MapAssignment) ProbOf(v Var) float64 { return m[v] }
+
+// FuncAssignment adapts a function to the Assignment interface.
+type FuncAssignment func(Var) float64
+
+// ProbOf implements Assignment.
+func (f FuncAssignment) ProbOf(v Var) float64 { return f(v) }
+
+// ErrTooManyShared is returned by ProbExact when a formula has more shared
+// variables than the supplied limit allows; exact Shannon expansion would
+// cost 2^shared evaluations.
+var ErrTooManyShared = errors.New("lineage: too many shared variables for exact evaluation")
+
+// DefaultSharedLimit bounds the Shannon-expansion depth of Prob. 2^24 leaf
+// evaluations is far beyond anything the workloads here produce; typical
+// formulas are read-once or share a handful of variables.
+const DefaultSharedLimit = 24
+
+// Prob computes the exact probability that e is true when every variable
+// is an independent Bernoulli event with the probability given by assign.
+// Read-once subformulas evaluate in linear time; variables occurring more
+// than once are eliminated by Shannon expansion (most frequent first).
+// Prob panics if the formula needs more than DefaultSharedLimit expansion
+// steps; use ProbExact to control the limit and receive an error instead.
+func Prob(e *Expr, assign Assignment) float64 {
+	p, err := ProbExact(e, assign, DefaultSharedLimit)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ProbExact is Prob with an explicit bound on the number of shared
+// variables eliminated by Shannon expansion.
+func ProbExact(e *Expr, assign Assignment, sharedLimit int) (float64, error) {
+	shared := sharedVarsByFrequency(e)
+	if len(shared) > sharedLimit {
+		return 0, fmt.Errorf("%w: %d shared variables, limit %d", ErrTooManyShared, len(shared), sharedLimit)
+	}
+	return shannon(e, assign, shared), nil
+}
+
+// ProbIndependent computes the probability of e under the (generally
+// unsound) assumption that all subformulas are independent, i.e. shared
+// variables are treated as distinct events. It is linear time and is the
+// approximation ablated in BenchmarkAblationShannon.
+func ProbIndependent(e *Expr, assign Assignment) float64 {
+	return probReadOnce(e, assign)
+}
+
+// sharedVarsByFrequency returns variables occurring more than once,
+// most frequent first (a good Shannon pivot order: conditioning on the
+// most-shared variable removes the most duplication).
+func sharedVarsByFrequency(e *Expr) []Var {
+	counts := e.VarCounts()
+	shared := make([]Var, 0)
+	for v, n := range counts {
+		if n > 1 {
+			shared = append(shared, v)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool {
+		if counts[shared[i]] != counts[shared[j]] {
+			return counts[shared[i]] > counts[shared[j]]
+		}
+		return shared[i] < shared[j]
+	})
+	return shared
+}
+
+// shannon eliminates the shared variables one at a time:
+// P(e) = p(v)·P(e|v=1) + (1−p(v))·P(e|v=0). Substitution simplifies the
+// formula, which frequently turns the residual read-once early.
+func shannon(e *Expr, assign Assignment, shared []Var) float64 {
+	if len(shared) == 0 {
+		return probReadOnce(e, assign)
+	}
+	if val, ok := e.IsConst(); ok {
+		if val {
+			return 1
+		}
+		return 0
+	}
+	// Re-check: substitutions may have removed sharing.
+	if e.ReadOnce() {
+		return probReadOnce(e, assign)
+	}
+	v := shared[0]
+	rest := shared[1:]
+	p := clamp01(assign.ProbOf(v))
+	hi := shannon(e.Substitute(v, true), assign, rest)
+	lo := shannon(e.Substitute(v, false), assign, rest)
+	return p*hi + (1-p)*lo
+}
+
+// probReadOnce evaluates e assuming independence of children (exact when
+// the formula is read-once).
+func probReadOnce(e *Expr, assign Assignment) float64 {
+	switch e.kind {
+	case KindFalse:
+		return 0
+	case KindTrue:
+		return 1
+	case KindVar:
+		return clamp01(assign.ProbOf(e.v))
+	case KindNot:
+		return 1 - probReadOnce(e.children[0], assign)
+	case KindAnd:
+		p := 1.0
+		for _, c := range e.children {
+			p *= probReadOnce(c, assign)
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
+	case KindOr:
+		q := 1.0
+		for _, c := range e.children {
+			q *= 1 - probReadOnce(c, assign)
+			if q == 0 {
+				return 1
+			}
+		}
+		return 1 - q
+	}
+	panic("lineage: bad kind")
+}
+
+// ProbPinned returns the probability of e with variable v pinned to false
+// (p0) and to true (p1). Because P(e) is multilinear in each variable,
+// P(e) = (1−p(v))·p0 + p(v)·p1 for any probability of v, so the exact
+// effect of changing v's confidence from p to p* is (p*−p)·(p1−p0).
+// This is what the greedy solver uses to compute gains with two
+// evaluations instead of numeric differencing.
+func ProbPinned(e *Expr, assign Assignment, v Var) (p0, p1 float64) {
+	e0 := e.Substitute(v, false)
+	e1 := e.Substitute(v, true)
+	return Prob(e0, assign), Prob(e1, assign)
+}
+
+// Derivative returns ∂P(e)/∂p(v), i.e. P(e|v=1) − P(e|v=0).
+func Derivative(e *Expr, assign Assignment, v Var) float64 {
+	p0, p1 := ProbPinned(e, assign, v)
+	return p1 - p0
+}
+
+// ProbBruteForce enumerates all 2^n assignments of the variables of e and
+// sums the probability mass of the satisfying ones. It is exponential and
+// exists as a test oracle for Prob. It returns an error when e has more
+// than 20 variables.
+func ProbBruteForce(e *Expr, assign Assignment) (float64, error) {
+	vars := e.Vars()
+	if len(vars) > 20 {
+		return 0, fmt.Errorf("lineage: brute force over %d variables refused", len(vars))
+	}
+	total := 0.0
+	truth := make(map[Var]bool, len(vars))
+	for mask := 0; mask < 1<<len(vars); mask++ {
+		mass := 1.0
+		for i, v := range vars {
+			p := clamp01(assign.ProbOf(v))
+			if mask&(1<<i) != 0 {
+				truth[v] = true
+				mass *= p
+			} else {
+				truth[v] = false
+				mass *= 1 - p
+			}
+		}
+		if mass > 0 && e.Eval(truth) {
+			total += mass
+		}
+	}
+	return total, nil
+}
+
+// Monotone reports whether e is negation-free, i.e. P(e) is monotonically
+// non-decreasing in every variable's probability. Confidence-increment
+// planning relies on this property.
+func (e *Expr) Monotone() bool {
+	switch e.kind {
+	case KindFalse, KindTrue, KindVar:
+		return true
+	case KindNot:
+		return false
+	case KindAnd, KindOr:
+		for _, c := range e.children {
+			if !c.Monotone() {
+				return false
+			}
+		}
+		return true
+	}
+	panic("lineage: bad kind")
+}
+
+func clamp01(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

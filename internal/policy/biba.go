@@ -1,0 +1,110 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Biba implements the strict-integrity Biba model the paper contrasts
+// with in Section 1: subjects and objects carry integrity levels from a
+// partial order (here, a totally ordered ladder of named levels), and a
+// subject may read an object only when the object's level dominates the
+// subject's ("no read down"). It is included as the baseline integrity
+// model for the comparison benchmarks: Biba is all-or-nothing per level,
+// while confidence policies are per-task and per-result.
+type Biba struct {
+	levels   map[string]int // level name -> rank
+	order    []string       // ranked level names, low to high
+	subjects map[string]int
+	objects  map[string]int
+}
+
+// NewBiba creates a Biba model with the given integrity levels, listed
+// from lowest to highest.
+func NewBiba(levels ...string) (*Biba, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("policy: Biba needs at least one level")
+	}
+	b := &Biba{
+		levels:   map[string]int{},
+		subjects: map[string]int{},
+		objects:  map[string]int{},
+	}
+	for i, l := range levels {
+		n := norm(l)
+		if _, dup := b.levels[n]; dup {
+			return nil, fmt.Errorf("policy: duplicate Biba level %q", l)
+		}
+		b.levels[n] = i
+		b.order = append(b.order, n)
+	}
+	return b, nil
+}
+
+// Levels returns the level names from lowest to highest.
+func (b *Biba) Levels() []string { return append([]string{}, b.order...) }
+
+// SetSubject assigns a subject's integrity level.
+func (b *Biba) SetSubject(subject, level string) error {
+	r, ok := b.levels[norm(level)]
+	if !ok {
+		return fmt.Errorf("policy: unknown Biba level %q", level)
+	}
+	b.subjects[norm(subject)] = r
+	return nil
+}
+
+// SetObject assigns an object's integrity level.
+func (b *Biba) SetObject(object, level string) error {
+	r, ok := b.levels[norm(level)]
+	if !ok {
+		return fmt.Errorf("policy: unknown Biba level %q", level)
+	}
+	b.objects[norm(object)] = r
+	return nil
+}
+
+// CanRead reports whether the subject may observe the object under
+// strict integrity: object level ≥ subject level. Unknown subjects or
+// objects are denied.
+func (b *Biba) CanRead(subject, object string) bool {
+	s, okS := b.subjects[norm(subject)]
+	o, okO := b.objects[norm(object)]
+	return okS && okO && o >= s
+}
+
+// CanWrite reports whether the subject may modify the object under
+// strict integrity ("no write up"): subject level ≥ object level.
+func (b *Biba) CanWrite(subject, object string) bool {
+	s, okS := b.subjects[norm(subject)]
+	o, okO := b.objects[norm(object)]
+	return okS && okO && s >= o
+}
+
+// LevelForConfidence buckets a confidence value onto the Biba ladder:
+// the unit interval is split evenly across the levels. This is how the
+// comparison benchmark maps confidence-carrying tuples into the rigid
+// Biba world.
+func (b *Biba) LevelForConfidence(p float64) string {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	idx := int(p * float64(len(b.order)))
+	if idx >= len(b.order) {
+		idx = len(b.order) - 1
+	}
+	return b.order[idx]
+}
+
+// Subjects returns the known subject names, sorted.
+func (b *Biba) Subjects() []string {
+	out := make([]string, 0, len(b.subjects))
+	for s := range b.subjects {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PurposeTree organizes data-usage purposes hierarchically (as in
+// purpose-based access control): a policy for a purpose also applies to
+// all of its descendant purposes — "analysis" covers "trend-analysis".
+type PurposeTree struct {
+	parent map[string]string
+	known  map[string]bool
+}
+
+// NewPurposeTree returns a tree containing only the root purpose "any".
+func NewPurposeTree() *PurposeTree {
+	return &PurposeTree{
+		parent: map[string]string{},
+		known:  map[string]bool{"any": true},
+	}
+}
+
+// Root is the implicit ancestor of all purposes.
+const Root = "any"
+
+// Add registers a purpose under the given parent. An empty parent means
+// the root.
+func (t *PurposeTree) Add(purpose, parent string) error {
+	p := norm(purpose)
+	if p == "" {
+		return fmt.Errorf("policy: empty purpose")
+	}
+	if t.known[p] {
+		return fmt.Errorf("policy: purpose %q already defined", purpose)
+	}
+	par := norm(parent)
+	if par == "" {
+		par = Root
+	}
+	if !t.known[par] {
+		return fmt.Errorf("policy: unknown parent purpose %q", parent)
+	}
+	t.known[p] = true
+	t.parent[p] = par
+	return nil
+}
+
+// Has reports whether the purpose is defined.
+func (t *PurposeTree) Has(purpose string) bool { return t.known[norm(purpose)] }
+
+// Covers reports whether ancestor covers purpose, i.e. purpose is equal
+// to or a descendant of ancestor. The root covers everything.
+func (t *PurposeTree) Covers(ancestor, purpose string) bool {
+	a, p := norm(ancestor), norm(purpose)
+	if !t.known[a] || !t.known[p] {
+		return false
+	}
+	for {
+		if p == a {
+			return true
+		}
+		next, ok := t.parent[p]
+		if !ok {
+			return a == Root && p == Root
+		}
+		p = next
+	}
+}
+
+// Purposes returns all defined purposes, sorted.
+func (t *PurposeTree) Purposes() []string {
+	out := make([]string, 0, len(t.known))
+	for p := range t.known {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+// Package policy implements the access-control side of the PCQE
+// framework: NIST-style role-based access control (users, roles, a role
+// hierarchy), a purpose tree, and the paper's confidence policies
+// ⟨role, purpose, β⟩ that gate query results on their confidence.
+//
+// A confidence policy (Definition 1 in the paper) states that when a user
+// under role r issues a query for purpose pu, only results with
+// confidence strictly greater than β may be returned to them. Policies
+// complement conventional RBAC: RBAC decides whether the query may touch
+// the tables at all, the confidence policy decides which derived results
+// are trustworthy enough for this role and purpose.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RBAC is a minimal NIST RBAC core: users, roles, user-role assignment
+// and a role hierarchy in which senior roles inherit the assignments of
+// junior roles.
+type RBAC struct {
+	roles   map[string]bool
+	users   map[string]map[string]bool // user -> directly assigned roles
+	seniors map[string]map[string]bool // role -> direct junior roles it inherits
+}
+
+// NewRBAC returns an empty RBAC model.
+func NewRBAC() *RBAC {
+	return &RBAC{
+		roles:   map[string]bool{},
+		users:   map[string]map[string]bool{},
+		seniors: map[string]map[string]bool{},
+	}
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// AddRole registers a role. Adding an existing role is a no-op.
+func (r *RBAC) AddRole(role string) {
+	r.roles[norm(role)] = true
+}
+
+// HasRole reports whether the role exists.
+func (r *RBAC) HasRole(role string) bool { return r.roles[norm(role)] }
+
+// Roles returns all role names, sorted.
+func (r *RBAC) Roles() []string {
+	out := make([]string, 0, len(r.roles))
+	for role := range r.roles {
+		out = append(out, role)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddInheritance records that senior inherits junior's permissions and
+// policy applicability (senior ≥ junior). It rejects unknown roles and
+// cycles.
+func (r *RBAC) AddInheritance(senior, junior string) error {
+	s, j := norm(senior), norm(junior)
+	if !r.roles[s] {
+		return fmt.Errorf("policy: unknown role %q", senior)
+	}
+	if !r.roles[j] {
+		return fmt.Errorf("policy: unknown role %q", junior)
+	}
+	if s == j || r.inherits(j, s) {
+		return fmt.Errorf("policy: inheritance %s ≥ %s would create a cycle", senior, junior)
+	}
+	if r.seniors[s] == nil {
+		r.seniors[s] = map[string]bool{}
+	}
+	r.seniors[s][j] = true
+	return nil
+}
+
+// inherits reports whether senior transitively inherits junior.
+func (r *RBAC) inherits(senior, junior string) bool {
+	if senior == junior {
+		return true
+	}
+	seen := map[string]bool{}
+	stack := []string{senior}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for j := range r.seniors[cur] {
+			if j == junior {
+				return true
+			}
+			stack = append(stack, j)
+		}
+	}
+	return false
+}
+
+// Inherits reports whether senior transitively dominates junior
+// (reflexive: every role dominates itself).
+func (r *RBAC) Inherits(senior, junior string) bool {
+	return r.inherits(norm(senior), norm(junior))
+}
+
+// AssignUser gives the user a role (direct assignment).
+func (r *RBAC) AssignUser(user, role string) error {
+	ro := norm(role)
+	if !r.roles[ro] {
+		return fmt.Errorf("policy: unknown role %q", role)
+	}
+	u := norm(user)
+	if r.users[u] == nil {
+		r.users[u] = map[string]bool{}
+	}
+	r.users[u][ro] = true
+	return nil
+}
+
+// UserRoles returns all roles the user holds, including roles reached
+// through the hierarchy (a user with a senior role also acts under its
+// junior roles). Sorted.
+func (r *RBAC) UserRoles(user string) []string {
+	direct := r.users[norm(user)]
+	all := map[string]bool{}
+	for d := range direct {
+		for role := range r.roles {
+			if r.inherits(d, role) {
+				all[role] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(all))
+	for role := range all {
+		out = append(out, role)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UserHasRole reports whether the user holds the role directly or via
+// the hierarchy.
+func (r *RBAC) UserHasRole(user, role string) bool {
+	target := norm(role)
+	for d := range r.users[norm(user)] {
+		if r.inherits(d, target) {
+			return true
+		}
+	}
+	return false
+}

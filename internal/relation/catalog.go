@@ -1,0 +1,124 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pcqe/internal/lineage"
+)
+
+// Catalog owns the tables of a database, assigns catalog-wide lineage
+// variables to base tuples, and answers confidence lookups for lineage
+// probability evaluation.
+type Catalog struct {
+	tables map[string]*Table
+	byVar  map[lineage.Var]*BaseTuple
+	next   lineage.Var
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables: map[string]*Table{},
+		byVar:  map[lineage.Var]*BaseTuple{},
+		next:   1,
+	}
+}
+
+// CreateTable registers a new empty table. Table names are
+// case-insensitive.
+func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	qualified := make([]Column, len(schema.Columns))
+	for i, col := range schema.Columns {
+		col.Table = name
+		qualified[i] = col
+	}
+	t := &Table{Name: name, schema: &Schema{Columns: qualified}, catalog: c}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks a table up by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relation: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropTable removes a table. Its rows remain resolvable by variable so
+// that lineage of previously computed results stays meaningful.
+func (c *Catalog) DropTable(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("relation: unknown table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+func (c *Catalog) nextVar() lineage.Var {
+	v := c.next
+	c.next++
+	return v
+}
+
+func (c *Catalog) register(row *BaseTuple) { c.byVar[row.Var] = row }
+
+// BaseTupleByVar resolves a lineage variable to its stored row.
+func (c *Catalog) BaseTupleByVar(v lineage.Var) (*BaseTuple, bool) {
+	row, ok := c.byVar[v]
+	return row, ok
+}
+
+// ProbOf implements lineage.Assignment: the probability of a lineage
+// variable is the current confidence of its base tuple. Unknown variables
+// have probability 0.
+func (c *Catalog) ProbOf(v lineage.Var) float64 {
+	if row, ok := c.byVar[v]; ok {
+		return row.Confidence
+	}
+	return 0
+}
+
+// Confidence computes the exact confidence of a derived tuple from its
+// lineage and the current base-tuple confidences.
+func (c *Catalog) Confidence(t *Tuple) float64 {
+	return lineage.Prob(t.Lineage, c)
+}
+
+// SetConfidence updates a base tuple's confidence, clamped to
+// [current, MaxConf] growth is the normal PCQE path; lowering is allowed
+// for administrative correction but never below 0.
+func (c *Catalog) SetConfidence(v lineage.Var, p float64) error {
+	row, ok := c.byVar[v]
+	if !ok {
+		return fmt.Errorf("relation: unknown lineage variable %d", int(v))
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("relation: confidence %g outside [0,1]", p)
+	}
+	if p > row.MaxConf {
+		return fmt.Errorf("relation: confidence %g exceeds tuple maximum %g", p, row.MaxConf)
+	}
+	row.Confidence = p
+	return nil
+}
+
+var _ lineage.Assignment = (*Catalog)(nil)

@@ -1,0 +1,55 @@
+package relation
+
+import (
+	"pcqe/internal/lineage"
+)
+
+// AttachConfidence appends a REAL "_confidence" column to its input,
+// computed from each tuple's lineage under the given assignment (usually
+// the catalog). It makes result confidence first-class inside queries:
+// the SQL layer plans it automatically whenever a statement references
+// the _confidence pseudo-column, enabling
+//
+//	SELECT Company, _confidence FROM ... ORDER BY _confidence DESC
+//	SELECT ... WHERE _confidence > 0.5
+//	SELECT Region, AVG(_confidence) FROM ... GROUP BY Region
+//
+// The attached value reflects the lineage at this point of the plan;
+// operators above (joins, DISTINCT) keep combining lineage, so a value
+// attached below a join is the input's confidence, not the join
+// result's. The SQL planner therefore attaches it after the FROM/JOIN
+// block, where it matches the confidence the policy layer will compute.
+type AttachConfidence struct {
+	Input  Operator
+	Assign lineage.Assignment
+
+	out *Schema
+}
+
+// Schema implements Operator.
+func (a *AttachConfidence) Schema() *Schema {
+	if a.out == nil {
+		cols := append([]Column{}, a.Input.Schema().Columns...)
+		cols = append(cols, Column{Name: ConfidenceColumn, Type: TypeFloat})
+		a.out = &Schema{Columns: cols}
+	}
+	return a.out
+}
+
+// Open implements Operator.
+func (a *AttachConfidence) Open() error { return a.Input.Open() }
+
+// Next implements Operator.
+func (a *AttachConfidence) Next() (*Tuple, error) {
+	t, err := a.Input.Next()
+	if err != nil || t == nil {
+		return nil, err
+	}
+	vals := make([]Value, 0, len(t.Values)+1)
+	vals = append(vals, t.Values...)
+	vals = append(vals, Float(lineage.Prob(t.Lineage, a.Assign)))
+	return &Tuple{Values: vals, Lineage: t.Lineage}, nil
+}
+
+// Close implements Operator.
+func (a *AttachConfidence) Close() error { return a.Input.Close() }

@@ -1,0 +1,135 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pcqe/internal/cost"
+)
+
+// ConfidenceColumn is the reserved CSV column name holding per-row
+// confidence; CostColumn optionally holds a linear improvement rate.
+const (
+	ConfidenceColumn = "_confidence"
+	CostColumn       = "_cost_rate"
+)
+
+// LoadCSV reads rows into the table from CSV data whose header matches
+// the table's column names (case-insensitive, in any order). A column
+// named "_confidence" supplies per-row confidence (default 1); a column
+// named "_cost_rate" supplies a linear cost function rate (default: row
+// not improvable).
+func LoadCSV(t *Table, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema := t.Schema()
+	colFor := make([]int, len(header)) // header position -> schema index; -1 = meta/skip
+	confIdx, costIdx := -1, -1
+	seen := make([]bool, schema.Len())
+	for i, h := range header {
+		switch h {
+		case ConfidenceColumn:
+			colFor[i] = -1
+			confIdx = i
+			continue
+		case CostColumn:
+			colFor[i] = -1
+			costIdx = i
+			continue
+		}
+		idx, err := schema.Resolve("", h)
+		if err != nil {
+			return 0, fmt.Errorf("relation: CSV header: %w", err)
+		}
+		if seen[idx] {
+			return 0, fmt.Errorf("relation: CSV header repeats column %q", h)
+		}
+		seen[idx] = true
+		colFor[i] = idx
+	}
+	for i, s := range seen {
+		if !s {
+			return 0, fmt.Errorf("relation: CSV missing column %q", schema.Columns[i].Name)
+		}
+	}
+	n := 0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		values := make([]Value, schema.Len())
+		confidence := 1.0
+		var fn cost.Function
+		for i, field := range rec {
+			if i >= len(header) {
+				return n, fmt.Errorf("relation: CSV line %d has %d fields, header has %d", line, len(rec), len(header))
+			}
+			switch i {
+			case confIdx:
+				confidence, err = strconv.ParseFloat(field, 64)
+				if err != nil {
+					return n, fmt.Errorf("relation: CSV line %d: bad confidence %q", line, field)
+				}
+			case costIdx:
+				if field != "" {
+					rate, err := strconv.ParseFloat(field, 64)
+					if err != nil {
+						return n, fmt.Errorf("relation: CSV line %d: bad cost rate %q", line, field)
+					}
+					fn = cost.Linear{Rate: rate}
+				}
+			default:
+				idx := colFor[i]
+				v, err := ParseValue(field, schema.Columns[idx].Type)
+				if err != nil {
+					return n, fmt.Errorf("relation: CSV line %d: %w", line, err)
+				}
+				values[idx] = v
+			}
+		}
+		if _, err := t.Insert(values, confidence, fn); err != nil {
+			return n, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		n++
+	}
+}
+
+// WriteCSV writes the table's rows (with confidence) as CSV.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	header := make([]string, 0, schema.Len()+1)
+	for _, c := range schema.Columns {
+		header = append(header, c.Name)
+	}
+	header = append(header, ConfidenceColumn)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows() {
+		rec := make([]string, 0, len(row.Values)+1)
+		for _, v := range row.Values {
+			if v.IsNull() {
+				rec = append(rec, "")
+			} else {
+				rec = append(rec, v.String())
+			}
+		}
+		rec = append(rec, strconv.FormatFloat(row.Confidence, 'g', -1, 64))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

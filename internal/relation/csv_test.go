@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.CreateTable("People", NewSchema(
+		Column{Name: "Name", Type: TypeString},
+		Column{Name: "Age", Type: TypeInt},
+	))
+	in := "Name,Age,_confidence,_cost_rate\nalice,30,0.9,10\nbob,25,0.5,\n"
+	n, err := LoadCSV(tab, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tab.Len() != 2 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	rows := tab.Rows()
+	if rows[0].Confidence != 0.9 || rows[1].Confidence != 0.5 {
+		t.Errorf("confidences = %v, %v", rows[0].Confidence, rows[1].Confidence)
+	}
+	if rows[0].Cost == nil {
+		t.Error("row 0 should have a cost function")
+	}
+	if rows[1].Cost != nil {
+		t.Error("row 1 should not have a cost function")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alice,30,0.9") {
+		t.Errorf("WriteCSV output:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "Name,Age,_confidence") {
+		t.Errorf("WriteCSV header:\n%s", out)
+	}
+}
+
+func TestLoadCSVReorderedHeader(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.CreateTable("People", NewSchema(
+		Column{Name: "Name", Type: TypeString},
+		Column{Name: "Age", Type: TypeInt},
+	))
+	in := "Age,Name\n30,alice\n"
+	if _, err := LoadCSV(tab, strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows()[0]
+	if s, _ := row.Values[0].AsString(); s != "alice" {
+		t.Errorf("name column = %v", row.Values[0])
+	}
+	if row.Confidence != 1 {
+		t.Errorf("default confidence = %v", row.Confidence)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	newTab := func() *Table {
+		c := NewCatalog()
+		tab, _ := c.CreateTable("P", NewSchema(
+			Column{Name: "Name", Type: TypeString},
+			Column{Name: "Age", Type: TypeInt},
+		))
+		return tab
+	}
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown column", "Name,Age,Bogus\na,1,x\n"},
+		{"repeated column", "Name,Name\na,b\n"},
+		{"missing column", "Name\na\n"},
+		{"bad int", "Name,Age\na,xyz\n"},
+		{"bad confidence", "Name,Age,_confidence\na,1,high\n"},
+		{"bad cost", "Name,Age,_cost_rate\na,1,cheap\n"},
+		{"confidence out of range", "Name,Age,_confidence\na,1,7\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(newTab(), strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadCSVNullFields(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.CreateTable("P", NewSchema(
+		Column{Name: "Name", Type: TypeString},
+		Column{Name: "Age", Type: TypeInt},
+	))
+	in := "Name,Age\nalice,\n"
+	if _, err := LoadCSV(tab, strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Rows()[0].Values[1].IsNull() {
+		t.Error("empty field should load as NULL")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alice,,1") {
+		t.Errorf("NULL round trip:\n%s", buf.String())
+	}
+}

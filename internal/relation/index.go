@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/lineage"
+)
+
+// Index is a hash index over one column of a table, mapping value keys
+// to the rows holding them. Indexes are maintained on Insert and rebuilt
+// after Delete/Update (both mutate rows in place).
+type Index struct {
+	table   *Table
+	column  int
+	buckets map[string][]*BaseTuple
+}
+
+// Column returns the indexed column's position in the table schema.
+func (ix *Index) Column() int { return ix.column }
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.buckets) }
+
+// Lookup returns the rows whose indexed column equals v.
+func (ix *Index) Lookup(v Value) []*BaseTuple {
+	return ix.buckets[v.Key()]
+}
+
+func (ix *Index) rebuild() {
+	ix.buckets = make(map[string][]*BaseTuple, len(ix.table.rows))
+	for _, row := range ix.table.rows {
+		ix.add(row)
+	}
+}
+
+func (ix *Index) add(row *BaseTuple) {
+	k := row.Values[ix.column].Key()
+	ix.buckets[k] = append(ix.buckets[k], row)
+}
+
+// CreateIndex builds (or returns the existing) hash index on the named
+// column.
+func (t *Table) CreateIndex(column string) (*Index, error) {
+	idx, err := t.schema.Resolve("", column)
+	if err != nil {
+		return nil, err
+	}
+	if existing, ok := t.indexes[idx]; ok {
+		return existing, nil
+	}
+	ix := &Index{table: t, column: idx}
+	ix.rebuild()
+	if t.indexes == nil {
+		t.indexes = map[int]*Index{}
+	}
+	t.indexes[idx] = ix
+	return ix, nil
+}
+
+// IndexOn returns the index on the given column position, if any.
+func (t *Table) IndexOn(column int) (*Index, bool) {
+	ix, ok := t.indexes[column]
+	return ix, ok
+}
+
+// IndexScan produces the rows whose indexed column equals Key, as an
+// operator interchangeable with Scan+Select on that equality.
+type IndexScan struct {
+	Table *Table
+	Idx   *Index
+	Key   Value
+
+	rows []*BaseTuple
+	pos  int
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *Schema { return s.Table.Schema() }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	if s.Idx == nil {
+		return fmt.Errorf("relation: IndexScan without an index")
+	}
+	s.rows = s.Idx.Lookup(s.Key)
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (*Tuple, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return &Tuple{Values: row.Values, Lineage: lineage.NewVar(row.Var)}, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { return nil }
+
+// OptimizeIndexedSelect rewrites Select(Scan T | Rename(Scan T)) into an
+// IndexScan plus a residual Select when the predicate's top-level
+// conjunction contains an equality between an indexed column and a
+// constant. It returns the input unchanged when the pattern does not
+// apply.
+func OptimizeIndexedSelect(sel *Select) Operator {
+	// Unwrap an optional Rename.
+	input := sel.Input
+	var rename *Rename
+	if rn, ok := input.(*Rename); ok {
+		rename = rn
+		input = rn.Input
+	}
+	scan, ok := input.(*scanOp)
+	if !ok || len(scan.table.indexes) == 0 {
+		return sel
+	}
+	conjuncts := splitConjuncts(sel.Pred)
+	for i, c := range conjuncts {
+		colIdx, key, ok := equalityWithConst(c)
+		if !ok {
+			continue
+		}
+		ix, has := scan.table.IndexOn(colIdx)
+		if !has {
+			continue
+		}
+		var op Operator = &IndexScan{Table: scan.table, Idx: ix, Key: key}
+		if rename != nil {
+			op = &Rename{Input: op, Alias: rename.Alias}
+		}
+		residual := append(append([]Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		if len(residual) > 0 {
+			op = &Select{Input: op, Pred: joinConjuncts(residual)}
+		}
+		return op
+	}
+	return sel
+}
+
+// splitConjuncts flattens a top-level AND tree.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+func joinConjuncts(es []Expr) Expr {
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &Binary{Op: OpAnd, Left: out, Right: e}
+	}
+	return out
+}
+
+// equalityWithConst matches "col = const" or "const = col" and returns
+// the column index and the constant.
+func equalityWithConst(e Expr) (colIdx int, key Value, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || b.Op != OpEq {
+		return 0, Value{}, false
+	}
+	if cr, isCol := b.Left.(*ColRef); isCol {
+		if c, isConst := b.Right.(Const); isConst && !c.Value.IsNull() {
+			return cr.Index, c.Value, true
+		}
+	}
+	if cr, isCol := b.Right.(*ColRef); isCol {
+		if c, isConst := b.Left.(Const); isConst && !c.Value.IsNull() {
+			return cr.Index, c.Value, true
+		}
+	}
+	return 0, Value{}, false
+}
+
+func describeIndexScan(s *IndexScan) string {
+	return fmt.Sprintf("IndexScan %s (%s = %s)",
+		s.Table.Name, s.Table.Schema().Columns[s.Idx.column].Name, s.Key)
+}

@@ -1,0 +1,182 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIndexLookupAndMaintenance(t *testing.T) {
+	_, tab := intTable(t, 1, 2, 2, 3)
+	ix, err := tab.CreateIndex("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(Int(2))); got != 2 {
+		t.Fatalf("Lookup(2) = %d rows", got)
+	}
+	if got := len(ix.Lookup(Int(9))); got != 0 {
+		t.Fatalf("Lookup(9) = %d rows", got)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("distinct keys = %d", ix.Len())
+	}
+	// Inserts are indexed.
+	tab.MustInsert(0.5, nil, Int(2))
+	if got := len(ix.Lookup(Int(2))); got != 3 {
+		t.Fatalf("after insert Lookup(2) = %d", got)
+	}
+	// Deletes rebuild.
+	a, _ := NewColRef(tab.Schema(), "", "a")
+	if _, err := tab.Delete(&Binary{Op: OpEq, Left: a, Right: Const{Value: Int(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(Int(2))); got != 0 {
+		t.Fatalf("after delete Lookup(2) = %d", got)
+	}
+	// Updates rebuild.
+	if _, err := tab.Update(nil, []UpdateSpec{{Column: 0, Value: Const{Value: Int(7)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(Int(7))); got != 2 {
+		t.Fatalf("after update Lookup(7) = %d", got)
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	_, tab := intTable(t, 1)
+	if _, err := tab.CreateIndex("nope"); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	ix1, _ := tab.CreateIndex("a")
+	ix2, _ := tab.CreateIndex("a")
+	if ix1 != ix2 {
+		t.Fatal("CreateIndex should be idempotent")
+	}
+}
+
+func TestIndexScanOperator(t *testing.T) {
+	_, tab := intTable(t, 1, 2, 2)
+	ix, _ := tab.CreateIndex("a")
+	rows, err := Run(&IndexScan{Table: tab, Idx: ix, Key: Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if v, _ := r.Values[0].AsInt(); v != 2 {
+			t.Fatalf("wrong row %v", r)
+		}
+		if r.Lineage == nil {
+			t.Fatal("index scan must attach lineage")
+		}
+	}
+	if _, err := Run(&IndexScan{Table: tab, Key: Int(2)}); err == nil {
+		t.Fatal("missing index should fail")
+	}
+}
+
+func TestOptimizeIndexedSelect(t *testing.T) {
+	_, tab := intTable(t, 1, 2, 3)
+	if _, err := tab.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewColRef(tab.Schema(), "", "a")
+	eq := &Binary{Op: OpEq, Left: a, Right: Const{Value: Int(2)}}
+	// Plain equality: rewritten to a bare IndexScan.
+	op := OptimizeIndexedSelect(&Select{Input: tab.Scan(), Pred: eq})
+	if _, ok := op.(*IndexScan); !ok {
+		t.Fatalf("optimized to %T, want *IndexScan", op)
+	}
+	rows, err := Run(op)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %d, %v", len(rows), err)
+	}
+	// Equality with a residual conjunct: IndexScan under Select.
+	gt := &Binary{Op: OpGt, Left: a, Right: Const{Value: Int(0)}}
+	both := &Binary{Op: OpAnd, Left: gt, Right: eq}
+	op = OptimizeIndexedSelect(&Select{Input: tab.Scan(), Pred: both})
+	sel, ok := op.(*Select)
+	if !ok {
+		t.Fatalf("optimized to %T, want *Select over IndexScan", op)
+	}
+	if _, ok := sel.Input.(*IndexScan); !ok {
+		t.Fatalf("inner = %T, want *IndexScan", sel.Input)
+	}
+	// Reversed constant side also matches.
+	rev := &Binary{Op: OpEq, Left: Const{Value: Int(2)}, Right: a}
+	if _, ok := OptimizeIndexedSelect(&Select{Input: tab.Scan(), Pred: rev}).(*IndexScan); !ok {
+		t.Fatal("reversed equality should optimize")
+	}
+	// Rename-wrapped scan keeps the alias.
+	op = OptimizeIndexedSelect(&Select{
+		Input: &Rename{Input: tab.Scan(), Alias: "x"},
+		Pred:  eq,
+	})
+	rn, ok := op.(*Rename)
+	if !ok {
+		t.Fatalf("aliased optimize = %T", op)
+	}
+	if _, ok := rn.Input.(*IndexScan); !ok {
+		t.Fatal("aliased optimize should wrap an IndexScan")
+	}
+	// Unindexed column: unchanged.
+	c := NewCatalog()
+	plain, _ := c.CreateTable("P", NewSchema(Column{Name: "a", Type: TypeInt}))
+	plain.MustInsert(1, nil, Int(1))
+	sel2 := &Select{Input: plain.Scan(), Pred: eq}
+	if got := OptimizeIndexedSelect(sel2); got != sel2 {
+		t.Fatal("unindexed select should be unchanged")
+	}
+	// Inequality only: unchanged.
+	sel3 := &Select{Input: tab.Scan(), Pred: gt}
+	if got := OptimizeIndexedSelect(sel3); got != sel3 {
+		t.Fatal("inequality select should be unchanged")
+	}
+}
+
+func TestOptimizedSelectEquivalence(t *testing.T) {
+	// Same results with and without the index, lineage included.
+	c := NewCatalog()
+	tab, _ := c.CreateTable("T", NewSchema(
+		Column{Name: "k", Type: TypeInt},
+		Column{Name: "v", Type: TypeString},
+	))
+	for i := 0; i < 50; i++ {
+		tab.MustInsert(0.5, nil, Int(int64(i%7)), String_("x"))
+	}
+	k, _ := NewColRef(tab.Schema(), "", "k")
+	pred := &Binary{Op: OpEq, Left: k, Right: Const{Value: Int(3)}}
+	plain, err := Run(&Select{Input: tab.Scan(), Pred: pred})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(OptimizeIndexedSelect(&Select{Input: tab.Scan(), Pred: pred}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(fast) {
+		t.Fatalf("plain %d rows, indexed %d rows", len(plain), len(fast))
+	}
+	for i := range plain {
+		if plain[i].Key() != fast[i].Key() {
+			t.Fatalf("row %d differs", i)
+		}
+		if plain[i].Lineage.String() != fast[i].Lineage.String() {
+			t.Fatalf("row %d lineage differs", i)
+		}
+	}
+}
+
+func TestExplainIndexScan(t *testing.T) {
+	_, tab := intTable(t, 1, 2)
+	ix, _ := tab.CreateIndex("a")
+	got := Explain(&IndexScan{Table: tab, Idx: ix, Key: Int(2)})
+	if !strings.Contains(got, "IndexScan T (a = 2)") {
+		t.Fatalf("Explain = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/lineage"
+)
+
+// NestedLoopJoin joins two inputs with an arbitrary predicate evaluated
+// over the concatenated tuple. Output lineage is the conjunction of the
+// input lineages: a joined row exists only if both contributing rows do.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        Expr // nil means cross product
+
+	out     *Schema
+	rows    []*Tuple // materialized right side
+	current *Tuple   // current left tuple
+	rpos    int
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	j.current, j.rpos = nil, 0
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Run(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rows = rows
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (*Tuple, error) {
+	for {
+		if j.current == nil {
+			t, err := j.Left.Next()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			j.current = t
+			j.rpos = 0
+		}
+		for j.rpos < len(j.rows) {
+			r := j.rows[j.rpos]
+			j.rpos++
+			out := combine(j.current, r)
+			if j.Pred != nil {
+				ok, err := EvalBool(j.Pred, out)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return out, nil
+		}
+		j.current = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.rows = nil
+	return j.Left.Close()
+}
+
+// HashJoin is an equi-join on one or more column pairs. The right input
+// is built into a hash table; lineage of output rows is the conjunction
+// of the matching inputs' lineages.
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKeys and RightKeys are parallel column indices into the left
+	// and right schemas.
+	LeftKeys, RightKeys []int
+
+	out     *Schema
+	table   map[string][]*Tuple
+	current *Tuple
+	bucket  []*Tuple
+	bpos    int
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if len(j.LeftKeys) == 0 || len(j.LeftKeys) != len(j.RightKeys) {
+		return fmt.Errorf("relation: hash join requires matching non-empty key lists")
+	}
+	j.current, j.bucket, j.bpos = nil, nil, 0
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Run(j.Right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]*Tuple, len(rows))
+	for _, r := range rows {
+		k := r.KeyOn(j.RightKeys)
+		j.table[k] = append(j.table[k], r)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*Tuple, error) {
+	for {
+		if j.current == nil {
+			t, err := j.Left.Next()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			j.current = t
+			j.bucket = j.table[t.KeyOn(j.LeftKeys)]
+			j.bpos = 0
+		}
+		if j.bpos < len(j.bucket) {
+			r := j.bucket[j.bpos]
+			j.bpos++
+			return combine(j.current, r), nil
+		}
+		j.current = nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// combine concatenates two tuples, AND-ing their lineages.
+func combine(l, r *Tuple) *Tuple {
+	vals := make([]Value, 0, len(l.Values)+len(r.Values))
+	vals = append(vals, l.Values...)
+	vals = append(vals, r.Values...)
+	return &Tuple{Values: vals, Lineage: lineage.And(l.Lineage, r.Lineage)}
+}

@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/lineage"
+)
+
+// Delete removes the rows matching pred (a boolean expression over the
+// table's schema) and returns how many were removed. Deleted rows stay
+// resolvable through the catalog by their lineage variable — previously
+// computed result lineages remain meaningful — but their confidence is
+// zeroed, reflecting that the fact has been withdrawn.
+func (t *Table) Delete(pred Expr) (int, error) {
+	// A fresh slice keeps previously returned Rows() views intact.
+	kept := make([]*BaseTuple, 0, len(t.rows))
+	removed := 0
+	for _, row := range t.rows {
+		match := true
+		if pred != nil {
+			tuple := rowTupleWithConfidence(row)
+			ok, err := EvalBool(pred, tuple)
+			if err != nil {
+				// Restore invariant: rows currently spliced stay; rows
+				// not yet visited stay too. Rebuild from scratch.
+				return removed, fmt.Errorf("relation: DELETE predicate: %w", err)
+			}
+			match = ok
+		}
+		if match {
+			row.Confidence = 0
+			row.MaxConf = 0
+			removed++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	t.rows = kept
+	for _, ix := range t.indexes {
+		ix.rebuild()
+	}
+	return removed, nil
+}
+
+// rowTupleWithConfidence builds the predicate-evaluation image of a
+// stored row: its values plus the current confidence appended as one
+// extra REAL value, so predicates compiled against the schema extended
+// with the _confidence pseudo-column (see the sql package) can read it;
+// predicates compiled against the plain schema simply ignore the extra
+// slot.
+func rowTupleWithConfidence(row *BaseTuple) *Tuple {
+	vals := make([]Value, 0, len(row.Values)+1)
+	vals = append(vals, row.Values...)
+	vals = append(vals, Float(row.Confidence))
+	return &Tuple{Values: vals, Lineage: lineage.NewVar(row.Var)}
+}
+
+// UpdateSpec describes one column (or confidence) assignment in an
+// Update call.
+type UpdateSpec struct {
+	// Column is the target column index; -1 targets the row's
+	// confidence instead (the SQL layer maps the pseudo-column
+	// "_confidence" here).
+	Column int
+	// Value computes the new value over the pre-update row.
+	Value Expr
+}
+
+// Update applies the assignments to every row matching pred and returns
+// the number of rows changed. Type checking matches Insert; confidence
+// assignments must produce a numeric value in [0, MaxConf].
+func (t *Table) Update(pred Expr, specs []UpdateSpec) (int, error) {
+	changed := 0
+	for _, row := range t.rows {
+		tuple := rowTupleWithConfidence(row)
+		if pred != nil {
+			ok, err := EvalBool(pred, tuple)
+			if err != nil {
+				return changed, fmt.Errorf("relation: UPDATE predicate: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		// Evaluate all assignments against the pre-update image first.
+		newValues := make([]Value, len(specs))
+		for i, spec := range specs {
+			v, err := spec.Value.Eval(tuple)
+			if err != nil {
+				return changed, fmt.Errorf("relation: UPDATE expression: %w", err)
+			}
+			newValues[i] = v
+		}
+		for i, spec := range specs {
+			v := newValues[i]
+			if spec.Column < 0 {
+				f, ok := v.AsFloat()
+				if !ok {
+					return changed, fmt.Errorf("relation: confidence update requires a numeric value, got %s", v.Type())
+				}
+				if f < 0 || f > row.MaxConf {
+					return changed, fmt.Errorf("relation: confidence %g outside [0,%g]", f, row.MaxConf)
+				}
+				row.Confidence = f
+				continue
+			}
+			if spec.Column >= t.schema.Len() {
+				return changed, fmt.Errorf("relation: UPDATE column index %d out of range", spec.Column)
+			}
+			want := t.schema.Columns[spec.Column].Type
+			if !v.IsNull() && v.Type() != want {
+				if want == TypeFloat && v.Type() == TypeInt {
+					f, _ := v.AsFloat()
+					v = Float(f)
+				} else {
+					return changed, fmt.Errorf("relation: UPDATE column %s expects %s, got %s",
+						t.schema.Columns[spec.Column].Name, want, v.Type())
+				}
+			}
+			row.Values[spec.Column] = v
+		}
+		changed++
+	}
+	if changed > 0 {
+		for _, ix := range t.indexes {
+			ix.rebuild()
+		}
+	}
+	return changed, nil
+}

@@ -1,0 +1,117 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation. Table is the qualifier
+// used to resolve references like "Proposal.Company"; it is empty for
+// computed columns.
+type Column struct {
+	Table string
+	Name  string
+	Type  Type
+}
+
+// QualifiedName renders "table.name" or just "name" when unqualified.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Resolve finds the index of the column referenced by the (optionally
+// empty) qualifier and name, case-insensitively. It returns an error for
+// unknown or ambiguous references.
+func (s *Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Table, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("relation: ambiguous column reference %q", joinRef(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("relation: unknown column %q", joinRef(qualifier, name))
+	}
+	return found, nil
+}
+
+func joinRef(qualifier, name string) string {
+	if qualifier == "" {
+		return name
+	}
+	return qualifier + "." + name
+}
+
+// Concat returns a new schema with the columns of s followed by those of
+// other (used by joins and cross products).
+func (s *Schema) Concat(other *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(other.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, other.Columns...)
+	return &Schema{Columns: cols}
+}
+
+// Project returns a new schema with only the columns at the given
+// indices.
+func (s *Schema) Project(indices []int) *Schema {
+	cols := make([]Column, len(indices))
+	for i, idx := range indices {
+		cols[i] = s.Columns[idx]
+	}
+	return &Schema{Columns: cols}
+}
+
+// WithQualifier returns a copy of the schema with every column's Table
+// qualifier replaced (used by FROM-clause aliases).
+func (s *Schema) WithQualifier(q string) *Schema {
+	cols := make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		c.Table = q
+		cols[i] = c
+	}
+	return &Schema{Columns: cols}
+}
+
+// String renders the schema as "(a INTEGER, b TEXT)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.QualifiedName() + " " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Compatible reports whether two schemas are union-compatible: same arity
+// and pairwise identical types.
+func (s *Schema) Compatible(other *Schema) bool {
+	if len(s.Columns) != len(other.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if s.Columns[i].Type != other.Columns[i].Type {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/lineage"
+)
+
+// Union merges two union-compatible inputs. With All set duplicates are
+// kept; otherwise rows equal across inputs are merged and their lineages
+// OR-ed (the row exists if either source row does).
+type Union struct {
+	Left, Right Operator
+	All         bool
+
+	buffer []*Tuple
+	pos    int
+	opened bool
+}
+
+// Schema implements Operator.
+func (u *Union) Schema() *Schema { return u.Left.Schema() }
+
+// Open implements Operator.
+func (u *Union) Open() error {
+	if !u.Left.Schema().Compatible(u.Right.Schema()) {
+		return fmt.Errorf("relation: UNION inputs are not union-compatible: %s vs %s",
+			u.Left.Schema(), u.Right.Schema())
+	}
+	left, err := Run(u.Left)
+	if err != nil {
+		return err
+	}
+	right, err := Run(u.Right)
+	if err != nil {
+		return err
+	}
+	u.pos = 0
+	if u.All {
+		u.buffer = append(append([]*Tuple{}, left...), right...)
+		return nil
+	}
+	index := map[string]int{}
+	u.buffer = nil
+	for _, t := range append(append([]*Tuple{}, left...), right...) {
+		key := t.Key()
+		if i, dup := index[key]; dup {
+			u.buffer[i] = &Tuple{
+				Values:  u.buffer[i].Values,
+				Lineage: lineage.Or(u.buffer[i].Lineage, t.Lineage),
+			}
+			continue
+		}
+		index[key] = len(u.buffer)
+		u.buffer = append(u.buffer, t)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *Union) Next() (*Tuple, error) {
+	if u.pos >= len(u.buffer) {
+		return nil, nil
+	}
+	t := u.buffer[u.pos]
+	u.pos++
+	return t, nil
+}
+
+// Close implements Operator.
+func (u *Union) Close() error {
+	u.buffer = nil
+	return nil
+}
+
+// Intersect emits rows present in both inputs (set semantics). A row's
+// lineage is left ∧ right: it appears in the intersection only if both
+// occurrences are real.
+type Intersect struct {
+	Left, Right Operator
+
+	buffer []*Tuple
+	pos    int
+}
+
+// Schema implements Operator.
+func (op *Intersect) Schema() *Schema { return op.Left.Schema() }
+
+// Open implements Operator.
+func (op *Intersect) Open() error {
+	if !op.Left.Schema().Compatible(op.Right.Schema()) {
+		return fmt.Errorf("relation: INTERSECT inputs are not union-compatible")
+	}
+	left, err := Run(op.Left)
+	if err != nil {
+		return err
+	}
+	right, err := Run(op.Right)
+	if err != nil {
+		return err
+	}
+	// Deduplicate each side, OR-ing lineages of duplicates.
+	dedup := func(rows []*Tuple) map[string]*Tuple {
+		m := map[string]*Tuple{}
+		for _, t := range rows {
+			key := t.Key()
+			if prev, ok := m[key]; ok {
+				m[key] = &Tuple{Values: prev.Values, Lineage: lineage.Or(prev.Lineage, t.Lineage)}
+			} else {
+				m[key] = t
+			}
+		}
+		return m
+	}
+	lm := dedup(left)
+	rm := dedup(right)
+	op.buffer, op.pos = nil, 0
+	// Preserve left-input order.
+	seen := map[string]bool{}
+	for _, t := range left {
+		key := t.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if rt, ok := rm[key]; ok {
+			op.buffer = append(op.buffer, &Tuple{
+				Values:  t.Values,
+				Lineage: lineage.And(lm[key].Lineage, rt.Lineage),
+			})
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (op *Intersect) Next() (*Tuple, error) {
+	if op.pos >= len(op.buffer) {
+		return nil, nil
+	}
+	t := op.buffer[op.pos]
+	op.pos++
+	return t, nil
+}
+
+// Close implements Operator.
+func (op *Intersect) Close() error {
+	op.buffer = nil
+	return nil
+}
+
+// Except emits rows of the left input absent from the right (set
+// semantics). A row's lineage is left ∧ ¬right: the row survives only if
+// its left occurrence is real and the matching right occurrence is not.
+type Except struct {
+	Left, Right Operator
+
+	buffer []*Tuple
+	pos    int
+}
+
+// Schema implements Operator.
+func (op *Except) Schema() *Schema { return op.Left.Schema() }
+
+// Open implements Operator.
+func (op *Except) Open() error {
+	if !op.Left.Schema().Compatible(op.Right.Schema()) {
+		return fmt.Errorf("relation: EXCEPT inputs are not union-compatible")
+	}
+	left, err := Run(op.Left)
+	if err != nil {
+		return err
+	}
+	right, err := Run(op.Right)
+	if err != nil {
+		return err
+	}
+	rm := map[string]*lineage.Expr{}
+	for _, t := range right {
+		key := t.Key()
+		if prev, ok := rm[key]; ok {
+			rm[key] = lineage.Or(prev, t.Lineage)
+		} else {
+			rm[key] = t.Lineage
+		}
+	}
+	// Merge left duplicates first (OR), then attach ∧¬right.
+	op.buffer, op.pos = nil, 0
+	merged := map[string]int{}
+	for _, t := range left {
+		key := t.Key()
+		if i, dup := merged[key]; dup {
+			op.buffer[i] = &Tuple{
+				Values:  op.buffer[i].Values,
+				Lineage: lineage.Or(op.buffer[i].Lineage, t.Lineage),
+			}
+			continue
+		}
+		merged[key] = len(op.buffer)
+		op.buffer = append(op.buffer, &Tuple{Values: t.Values, Lineage: t.Lineage})
+	}
+	for i, t := range op.buffer {
+		if rlin, ok := rm[t.Key()]; ok {
+			op.buffer[i] = &Tuple{Values: t.Values, Lineage: lineage.And(t.Lineage, lineage.Not(rlin))}
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (op *Except) Next() (*Tuple, error) {
+	if op.pos >= len(op.buffer) {
+		return nil, nil
+	}
+	t := op.buffer[op.pos]
+	op.pos++
+	return t, nil
+}
+
+// Close implements Operator.
+func (op *Except) Close() error {
+	op.buffer = nil
+	return nil
+}

@@ -1,0 +1,118 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/lineage"
+)
+
+// BaseTuple is a stored row: values plus the confidence metadata the PCQE
+// framework attaches to every data item.
+type BaseTuple struct {
+	Var        lineage.Var   // catalog-wide lineage variable
+	Values     []Value       //
+	Confidence float64       // current confidence in [0,1]
+	MaxConf    float64       // maximum attainable confidence (usually 1)
+	Cost       cost.Function // price of confidence increments; nil = not improvable
+}
+
+// Improvable reports whether the tuple's confidence can be raised.
+func (b *BaseTuple) Improvable() bool {
+	return b.Cost != nil && b.Confidence < b.MaxConf
+}
+
+// Table is an in-memory relation whose rows carry confidence and are
+// registered with a Catalog for lineage-variable assignment.
+type Table struct {
+	Name   string
+	schema *Schema
+	rows   []*BaseTuple
+
+	catalog *Catalog
+	indexes map[int]*Index // column position -> hash index
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the stored rows. The slice must not be modified; rows may
+// be inspected and their confidences updated via the catalog.
+func (t *Table) Rows() []*BaseTuple { return t.rows }
+
+// Insert validates and appends a row, assigning it a fresh lineage
+// variable. Confidence defaults to 1 and MaxConf to 1 when given as 0.
+func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*BaseTuple, error) {
+	if len(values) != t.schema.Len() {
+		return nil, fmt.Errorf("relation: table %s expects %d values, got %d", t.Name, t.schema.Len(), len(values))
+	}
+	for i, v := range values {
+		if v.IsNull() {
+			continue
+		}
+		want := t.schema.Columns[i].Type
+		if v.Type() != want {
+			// Allow int literals in real columns.
+			if want == TypeFloat && v.Type() == TypeInt {
+				f, _ := v.AsFloat()
+				values[i] = Float(f)
+				continue
+			}
+			return nil, fmt.Errorf("relation: table %s column %s expects %s, got %s",
+				t.Name, t.schema.Columns[i].Name, want, v.Type())
+		}
+	}
+	if confidence < 0 || confidence > 1 {
+		return nil, fmt.Errorf("relation: confidence %g outside [0,1]", confidence)
+	}
+	row := &BaseTuple{
+		Var:        t.catalog.nextVar(),
+		Values:     values,
+		Confidence: confidence,
+		MaxConf:    1,
+		Cost:       fn,
+	}
+	t.rows = append(t.rows, row)
+	t.catalog.register(row)
+	for _, ix := range t.indexes {
+		ix.add(row)
+	}
+	return row, nil
+}
+
+// MustInsert is Insert that panics on error; it keeps test fixtures and
+// examples terse.
+func (t *Table) MustInsert(confidence float64, fn cost.Function, values ...Value) *BaseTuple {
+	row, err := t.Insert(values, confidence, fn)
+	if err != nil {
+		panic(err)
+	}
+	return row
+}
+
+// Scan returns a Volcano operator producing the table's current rows as
+// derived tuples whose lineage is their own variable.
+func (t *Table) Scan() Operator { return &scanOp{table: t} }
+
+type scanOp struct {
+	table *Table
+	pos   int
+}
+
+func (s *scanOp) Schema() *Schema { return s.table.schema }
+
+func (s *scanOp) Open() error { s.pos = 0; return nil }
+
+func (s *scanOp) Next() (*Tuple, error) {
+	if s.pos >= len(s.table.rows) {
+		return nil, nil
+	}
+	row := s.table.rows[s.pos]
+	s.pos++
+	return &Tuple{Values: row.Values, Lineage: lineage.NewVar(row.Var)}, nil
+}
+
+func (s *scanOp) Close() error { return nil }

@@ -1,0 +1,65 @@
+package relation
+
+import (
+	"strings"
+
+	"pcqe/internal/lineage"
+)
+
+// Tuple is a row. Base tuples (rows stored in a table) carry their own
+// lineage variable and confidence; derived tuples produced by operators
+// carry a lineage expression over base-tuple variables, from which their
+// confidence is computed on demand.
+type Tuple struct {
+	Values  []Value
+	Lineage *lineage.Expr
+}
+
+// NewTuple builds a derived tuple with the given lineage.
+func NewTuple(values []Value, lin *lineage.Expr) *Tuple {
+	if lin == nil {
+		lin = lineage.True()
+	}
+	return &Tuple{Values: values, Lineage: lin}
+}
+
+// Key returns a hash key over all values (used for DISTINCT and set
+// operations).
+func (t *Tuple) Key() string {
+	return t.KeyOn(nil)
+}
+
+// KeyOn returns a hash key over the values at the given indices; a nil
+// slice means all columns.
+func (t *Tuple) KeyOn(indices []int) string {
+	var b strings.Builder
+	if indices == nil {
+		for _, v := range t.Values {
+			b.WriteString(v.Key())
+			b.WriteByte(0x1f)
+		}
+		return b.String()
+	}
+	for _, i := range indices {
+		b.WriteString(t.Values[i].Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the tuple with a copied value slice (the
+// lineage expression is immutable and shared).
+func (t *Tuple) Clone() *Tuple {
+	vals := make([]Value, len(t.Values))
+	copy(vals, t.Values)
+	return &Tuple{Values: vals, Lineage: t.Lineage}
+}
+
+// String renders the tuple values separated by commas.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null should be null")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("Bool accessor")
+	}
+	if i, ok := Int(42).AsInt(); !ok || i != 42 {
+		t.Error("Int accessor")
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("Float accessor")
+	}
+	if s, ok := String_("x").AsString(); !ok || s != "x" {
+		t.Error("String accessor")
+	}
+	// Cross-type numeric accessors.
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Error("Int as float")
+	}
+	if i, ok := Float(3.9).AsInt(); !ok || i != 3 {
+		t.Error("Float as int truncates")
+	}
+	if _, ok := String_("x").AsFloat(); ok {
+		t.Error("string is not numeric")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"true":  Bool(true),
+		"false": Bool(false),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		"hi":    String_("hi"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCompareNumericCrossType(t *testing.T) {
+	c, err := Compare(Int(2), Float(2.0))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(2, 2.0) = %d, %v", c, err)
+	}
+	c, _ = Compare(Int(1), Float(1.5))
+	if c != -1 {
+		t.Errorf("Compare(1, 1.5) = %d", c)
+	}
+	c, _ = Compare(Float(3.5), Int(2))
+	if c != 1 {
+		t.Errorf("Compare(3.5, 2) = %d", c)
+	}
+}
+
+func TestCompareNullsFirst(t *testing.T) {
+	if c, _ := Compare(Null(), Int(0)); c != -1 {
+		t.Error("NULL should sort before values")
+	}
+	if c, _ := Compare(Int(0), Null()); c != 1 {
+		t.Error("values should sort after NULL")
+	}
+	if c, _ := Compare(Null(), Null()); c != 0 {
+		t.Error("NULL equals NULL for sorting")
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if c, _ := Compare(String_("a"), String_("b")); c != -1 {
+		t.Error("string compare")
+	}
+	if c, _ := Compare(Bool(false), Bool(true)); c != -1 {
+		t.Error("bool compare")
+	}
+	if _, err := Compare(String_("a"), Int(1)); err == nil {
+		t.Error("expected incompatible-type error")
+	}
+	if _, err := Compare(Bool(true), String_("t")); err == nil {
+		t.Error("expected incompatible-type error")
+	}
+}
+
+func TestValueKeyGroupsIntsAndIntegralFloats(t *testing.T) {
+	if Int(1).Key() != Float(1.0).Key() {
+		t.Error("1 and 1.0 should share a key")
+	}
+	if Int(1).Key() == Float(1.5).Key() {
+		t.Error("1 and 1.5 must differ")
+	}
+	if Int(1).Key() == String_("1").Key() {
+		t.Error("int and string keys must differ")
+	}
+	if Bool(true).Key() == Bool(false).Key() {
+		t.Error("bool keys must differ")
+	}
+	if Null().Key() == Int(0).Key() {
+		t.Error("null and 0 keys must differ")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("42", TypeInt)
+	if err != nil || !Equal(v, Int(42)) {
+		t.Errorf("ParseValue int: %v, %v", v, err)
+	}
+	v, err = ParseValue("2.5", TypeFloat)
+	if err != nil || !Equal(v, Float(2.5)) {
+		t.Errorf("ParseValue float: %v, %v", v, err)
+	}
+	v, err = ParseValue("true", TypeBool)
+	if err != nil {
+		t.Errorf("ParseValue bool: %v", err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Error("ParseValue bool value")
+	}
+	v, err = ParseValue(" hi", TypeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := v.AsString(); s != "hi" {
+		t.Errorf("ParseValue trims: %q", s)
+	}
+	if v, _ := ParseValue("", TypeInt); !v.IsNull() {
+		t.Error("empty parses to NULL")
+	}
+	if v, _ := ParseValue("NULL", TypeString); !v.IsNull() {
+		t.Error("NULL literal parses to NULL")
+	}
+	if _, err := ParseValue("abc", TypeInt); err == nil {
+		t.Error("expected int parse error")
+	}
+	if _, err := ParseValue("abc", TypeFloat); err == nil {
+		t.Error("expected float parse error")
+	}
+	if _, err := ParseValue("abc", TypeBool); err == nil {
+		t.Error("expected bool parse error")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeNull: "NULL", TypeBool: "BOOLEAN", TypeInt: "INTEGER",
+		TypeFloat: "REAL", TypeString: "TEXT",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Node is any AST node.
+type Node interface {
+	// SQL renders the node back to SQL text (canonical form).
+	SQL() string
+}
+
+// --- Expressions ---
+
+// ExprNode is an AST expression.
+type ExprNode interface {
+	Node
+	exprNode()
+}
+
+// Ident references a column, optionally qualified: "t.col" or "col".
+type Ident struct {
+	Qualifier string
+	Name      string
+	Tok       Token
+}
+
+func (i *Ident) exprNode() {}
+
+// SQL implements Node.
+func (i *Ident) SQL() string {
+	if i.Qualifier != "" {
+		return quoteIdent(i.Qualifier) + "." + quoteIdent(i.Name)
+	}
+	return quoteIdent(i.Name)
+}
+
+// quoteIdent renders an identifier, double-quoting it when it would
+// otherwise lex as a keyword or contains non-identifier characters.
+func quoteIdent(name string) string {
+	needQuote := name == ""
+	if keywords[strings.ToUpper(name)] {
+		needQuote = true
+	}
+	for i, r := range name {
+		if i == 0 && !isIdentStart(r) {
+			needQuote = true
+			break
+		}
+		if !isIdentPart(r) {
+			needQuote = true
+			break
+		}
+	}
+	if needQuote {
+		return "\"" + name + "\""
+	}
+	return name
+}
+
+// LitKind enumerates literal kinds.
+type LitKind uint8
+
+// Literal kinds.
+const (
+	LitNull LitKind = iota
+	LitBool
+	LitInt
+	LitFloat
+	LitString
+)
+
+// Lit is a literal value.
+type Lit struct {
+	Kind LitKind
+	Bool bool
+	Int  int64
+	Flt  float64
+	Str  string
+	Tok  Token
+}
+
+func (l *Lit) exprNode() {}
+
+// SQL implements Node.
+func (l *Lit) SQL() string {
+	switch l.Kind {
+	case LitNull:
+		return "NULL"
+	case LitBool:
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case LitInt:
+		return itoa(l.Int)
+	case LitFloat:
+		return ftoa(l.Flt)
+	case LitString:
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	}
+	return "?"
+}
+
+// BinaryExpr applies a binary operator ("=", "<", "AND", "+", ...).
+type BinaryExpr struct {
+	Op          string
+	Left, Right ExprNode
+	Tok         Token
+}
+
+func (b *BinaryExpr) exprNode() {}
+
+// SQL implements Node.
+func (b *BinaryExpr) SQL() string {
+	return "(" + b.Left.SQL() + " " + b.Op + " " + b.Right.SQL() + ")"
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op    string // "NOT" or "-"
+	Child ExprNode
+	Tok   Token
+}
+
+func (u *UnaryExpr) exprNode() {}
+
+// SQL implements Node.
+func (u *UnaryExpr) SQL() string {
+	if u.Op == "-" {
+		return "-" + u.Child.SQL()
+	}
+	return u.Op + " " + u.Child.SQL()
+}
+
+// IsNullExpr is "expr IS [NOT] NULL".
+type IsNullExpr struct {
+	Child  ExprNode
+	Negate bool
+	Tok    Token
+}
+
+func (e *IsNullExpr) exprNode() {}
+
+// SQL implements Node.
+func (e *IsNullExpr) SQL() string {
+	if e.Negate {
+		return e.Child.SQL() + " IS NOT NULL"
+	}
+	return e.Child.SQL() + " IS NULL"
+}
+
+// LikeExpr is "expr [NOT] LIKE 'pattern'".
+type LikeExpr struct {
+	Child   ExprNode
+	Pattern string
+	Negate  bool
+	Tok     Token
+}
+
+func (e *LikeExpr) exprNode() {}
+
+// SQL implements Node.
+func (e *LikeExpr) SQL() string {
+	op := " LIKE "
+	if e.Negate {
+		op = " NOT LIKE "
+	}
+	return e.Child.SQL() + op + "'" + e.Pattern + "'"
+}
+
+// InExpr is "expr [NOT] IN (lit, lit, ...)" or, with Sub set,
+// "expr [NOT] IN (SELECT ...)".
+type InExpr struct {
+	Child  ExprNode
+	List   []ExprNode
+	Sub    *SelectStmt
+	Negate bool
+	Tok    Token
+}
+
+func (e *InExpr) exprNode() {}
+
+// SQL implements Node.
+func (e *InExpr) SQL() string {
+	op := " IN ("
+	if e.Negate {
+		op = " NOT IN ("
+	}
+	if e.Sub != nil {
+		return e.Child.SQL() + op + e.Sub.SQL() + ")"
+	}
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.SQL()
+	}
+	return e.Child.SQL() + op + strings.Join(parts, ", ") + ")"
+}
+
+// BetweenExpr is "expr [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	Child, Lo, Hi ExprNode
+	Negate        bool
+	Tok           Token
+}
+
+func (e *BetweenExpr) exprNode() {}
+
+// SQL implements Node.
+func (e *BetweenExpr) SQL() string {
+	op := " BETWEEN "
+	if e.Negate {
+		op = " NOT BETWEEN "
+	}
+	return e.Child.SQL() + op + e.Lo.SQL() + " AND " + e.Hi.SQL()
+}
+
+// FuncCall is an aggregate call: COUNT(*), COUNT(x), SUM(x), AVG, MIN, MAX.
+type FuncCall struct {
+	Name string // upper-case
+	Arg  ExprNode
+	Star bool // COUNT(*)
+	Tok  Token
+}
+
+func (f *FuncCall) exprNode() {}
+
+// SQL implements Node.
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	return f.Name + "(" + f.Arg.SQL() + ")"
+}
+
+// --- Statements ---
+
+// SelectItem is one output column: an expression with an optional alias,
+// or * (Star).
+type SelectItem struct {
+	Expr  ExprNode
+	Alias string
+	Star  bool
+}
+
+// TableRef names a base table — or a derived table (FROM subquery) when
+// Sub is non-nil, in which case an alias is mandatory.
+type TableRef struct {
+	Name  string
+	Alias string
+	Sub   *SelectStmt
+	Tok   Token
+}
+
+// SQL implements Node.
+func (t *TableRef) SQL() string {
+	base := quoteIdent(t.Name)
+	if t.Sub != nil {
+		base = "(" + t.Sub.SQL() + ")"
+	}
+	if t.Alias != "" {
+		return base + " AS " + quoteIdent(t.Alias)
+	}
+	return base
+}
+
+// JoinClause is "JOIN table [AS alias] ON cond" or a cross join (nil On).
+type JoinClause struct {
+	Table TableRef
+	On    ExprNode // nil for CROSS JOIN / comma
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr ExprNode
+	Desc bool
+}
+
+// SetOpKind enumerates set operations between SELECTs.
+type SetOpKind uint8
+
+// Set operations.
+const (
+	SetNone SetOpKind = iota
+	SetUnion
+	SetUnionAll
+	SetIntersect
+	SetExcept
+)
+
+// SelectStmt is a (possibly compound) SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    ExprNode
+	GroupBy  []ExprNode
+	Having   ExprNode
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+	Offset   int
+
+	// Compound statement: this select <SetOp> Next.
+	SetOp SetOpKind
+	Next  *SelectStmt
+}
+
+// SQL implements Node.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.SQL())
+		if it.Alias != "" {
+			b.WriteString(" AS " + quoteIdent(it.Alias))
+		}
+	}
+	b.WriteString(" FROM " + s.From.SQL())
+	for _, j := range s.Joins {
+		if j.On == nil {
+			b.WriteString(" CROSS JOIN " + j.Table.SQL())
+		} else {
+			b.WriteString(" JOIN " + j.Table.SQL() + " ON " + j.On.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + itoa(int64(s.Limit)))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET " + itoa(int64(s.Offset)))
+	}
+	switch s.SetOp {
+	case SetUnion:
+		b.WriteString(" UNION " + s.Next.SQL())
+	case SetUnionAll:
+		b.WriteString(" UNION ALL " + s.Next.SQL())
+	case SetIntersect:
+		b.WriteString(" INTERSECT " + s.Next.SQL())
+	case SetExcept:
+		b.WriteString(" EXCEPT " + s.Next.SQL())
+	}
+	return b.String()
+}
+
+func itoa(i int64) string { return strconv.FormatInt(i, 10) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

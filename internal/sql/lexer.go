@@ -1,0 +1,163 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lex tokenizes the input. It returns an error for unterminated strings
+// or illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if input[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			// Line comment.
+			for i < len(input) && input[i] != '\n' {
+				advance(1)
+			}
+		case c == '"':
+			// Double-quoted identifier: keeps its case and never
+			// collides with keywords.
+			start := i
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '"' {
+					advance(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "unterminated quoted identifier"}
+			}
+			if sb.Len() == 0 {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "empty quoted identifier"}
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: sb.String(), Pos: start, Line: startLine, Col: startCol})
+		case c == '\'':
+			start := i
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start, Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			startLine, startCol := line, col
+			seenDot, seenExp := false, false
+			for i < len(input) {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					advance(1)
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					advance(1)
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					advance(1)
+					if i < len(input) && (input[i] == '+' || input[i] == '-') {
+						advance(1)
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start, Line: startLine, Col: startCol})
+		case isIdentStartAt(input, i):
+			start := i
+			startLine, startCol := line, col
+			for i < len(input) {
+				r, size := utf8.DecodeRuneInString(input[i:])
+				if !isIdentPart(r) {
+					break
+				}
+				advance(size)
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start, Line: startLine, Col: startCol})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start, Line: startLine, Col: startCol})
+			}
+		default:
+			start := i
+			startLine, startCol := line, col
+			var sym string
+			switch {
+			case strings.HasPrefix(input[i:], "<="), strings.HasPrefix(input[i:], ">="),
+				strings.HasPrefix(input[i:], "<>"), strings.HasPrefix(input[i:], "!="):
+				sym = input[i : i+2]
+				advance(2)
+			case strings.ContainsRune("=<>+-*/(),.;", rune(c)):
+				sym = input[i : i+1]
+				advance(1)
+			default:
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "illegal character " + string(rune(c))}
+			}
+			if sym == "!=" {
+				sym = "<>"
+			}
+			toks = append(toks, Token{Kind: TokSymbol, Text: sym, Pos: start, Line: startLine, Col: startCol})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: len(input), Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentStartAt(input string, i int) bool {
+	r, _ := utf8.DecodeRuneInString(input[i:])
+	return r != utf8.RuneError && isIdentStart(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

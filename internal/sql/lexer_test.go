@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND name = 'o''brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{"SELECT", "a", ",", "b2", "FROM", "t", "WHERE", "x", ">=", "1.5", "AND", "name", "=", "o'brien"}
+	if len(toks) != len(texts)+1 { // +EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, want := range texts {
+		if toks[i].Text != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, want)
+		}
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From wHeRe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].Kind != TokKeyword || toks[i].Text != want {
+			t.Errorf("token %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 .5 1e6 1.5e-3 1E+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", ".5", "1e6", "1.5e-3", "1E+2"}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("token %d = %v, want number %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("= <> != < <= > >= + - * / ( ) . ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"=", "<>", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "(", ")", ".", ";"}
+	for i, w := range want {
+		if toks[i].Kind != TokSymbol || toks[i].Text != w {
+			t.Errorf("token %d = %v, want symbol %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- a comment\n x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[1].Text != "x" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexLineColTracking(t *testing.T) {
+	toks, err := Lex("SELECT\n  x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("expected unterminated string error")
+	}
+	if _, err := Lex("a # b"); err == nil {
+		t.Error("expected illegal character error")
+	}
+}
+
+func TestLexKindsForMixedQuery(t *testing.T) {
+	toks, err := Lex("COUNT(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokKeyword, TokSymbol, TokSymbol, TokSymbol, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,580 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse lexes and parses one SELECT statement (a trailing semicolon is
+// allowed).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSymbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, errAt(p.peek(), "unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().Kind == TokKeyword && p.peek().Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errAt(p.peek(), "expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().Kind == TokSymbol && p.peek().Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return errAt(p.peek(), "expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	// Joins (explicit JOIN..ON, CROSS JOIN, or comma-separated tables).
+	for {
+		switch {
+		case p.acceptSymbol(","):
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Joins = append(stmt.Joins, JoinClause{Table: tr})
+		case p.peek().Kind == TokKeyword && (p.peek().Text == "JOIN" || p.peek().Text == "INNER" || p.peek().Text == "CROSS"):
+			cross := p.acceptKeyword("CROSS")
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			jc := JoinClause{Table: tr}
+			if !cross {
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				jc.On = on
+			}
+			stmt.Joins = append(stmt.Joins, jc)
+		default:
+			goto afterFrom
+		}
+	}
+afterFrom:
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseNonNegativeInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseNonNegativeInt("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = n
+	}
+
+	// Set operations.
+	switch {
+	case p.acceptKeyword("UNION"):
+		stmt.SetOp = SetUnion
+		if p.acceptKeyword("ALL") {
+			stmt.SetOp = SetUnionAll
+		}
+	case p.acceptKeyword("INTERSECT"):
+		stmt.SetOp = SetIntersect
+	case p.acceptKeyword("EXCEPT"):
+		stmt.SetOp = SetExcept
+	}
+	if stmt.SetOp != SetNone {
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Next = next
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseNonNegativeInt(clause string) (int, error) {
+	tok := p.peek()
+	if tok.Kind != TokNumber {
+		return 0, errAt(tok, "%s expects a number, got %s", clause, tok)
+	}
+	p.next()
+	n, err := strconv.Atoi(tok.Text)
+	if err != nil || n < 0 {
+		return 0, errAt(tok, "%s expects a non-negative integer, got %q", clause, tok.Text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		tok := p.peek()
+		if tok.Kind != TokIdent {
+			return SelectItem{}, errAt(tok, "expected alias after AS, got %s", tok)
+		}
+		p.next()
+		item.Alias = tok.Text
+	} else if p.peek().Kind == TokIdent {
+		// Bare alias: SELECT a b FROM ...
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	tok := p.peek()
+	var tr TableRef
+	switch {
+	case tok.Kind == TokSymbol && tok.Text == "(":
+		// Derived table: ( SELECT ... ) alias
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return TableRef{}, err
+		}
+		tr = TableRef{Sub: sub, Tok: tok}
+	case tok.Kind == TokIdent:
+		p.next()
+		tr = TableRef{Name: tok.Text, Tok: tok}
+	default:
+		return TableRef{}, errAt(tok, "expected table name or subquery, got %s", tok)
+	}
+	if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, errAt(a, "expected alias after AS, got %s", a)
+		}
+		p.next()
+		tr.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	if tr.Sub != nil && tr.Alias == "" {
+		return TableRef{}, errAt(tok, "a FROM subquery requires an alias")
+	}
+	return tr, nil
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	expr     := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= additive [cmpOp additive | IS [NOT] NULL | [NOT] LIKE str
+//	             | [NOT] IN (...) | [NOT] BETWEEN additive AND additive]
+//	additive := multiplicative (('+'|'-') multiplicative)*
+//	multiplicative := unary (('*'|'/') unary)*
+//	unary    := '-' unary | primary
+//	primary  := literal | funcCall | ident['.'ident] | '(' expr ')'
+func (p *parser) parseExpr() (ExprNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "OR" {
+		tok := p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right, Tok: tok}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ExprNode, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "AND" {
+		tok := p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right, Tok: tok}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (ExprNode, error) {
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+		tok := p.next()
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Child: child, Tok: tok}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parsePredicate() (ExprNode, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	tok := p.peek()
+	if tok.Kind == TokSymbol && cmpOps[tok.Text] {
+		p.next()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: tok.Text, Left: left, Right: right, Tok: tok}, nil
+	}
+	if tok.Kind == TokKeyword {
+		negate := false
+		switch tok.Text {
+		case "IS":
+			p.next()
+			negate = p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNullExpr{Child: left, Negate: negate, Tok: tok}, nil
+		case "NOT":
+			// lookahead for NOT LIKE / NOT IN / NOT BETWEEN
+			if p.pos+1 < len(p.toks) {
+				nx := p.toks[p.pos+1]
+				if nx.Kind == TokKeyword && (nx.Text == "LIKE" || nx.Text == "IN" || nx.Text == "BETWEEN") {
+					p.next() // NOT
+					negate = true
+					tok = p.peek()
+				} else {
+					return left, nil
+				}
+			}
+			fallthrough
+		case "LIKE", "IN", "BETWEEN":
+			switch p.peek().Text {
+			case "LIKE":
+				p.next()
+				pt := p.peek()
+				if pt.Kind != TokString {
+					return nil, errAt(pt, "LIKE expects a string pattern, got %s", pt)
+				}
+				p.next()
+				return &LikeExpr{Child: left, Pattern: pt.Text, Negate: negate, Tok: tok}, nil
+			case "IN":
+				p.next()
+				if err := p.expectSymbol("("); err != nil {
+					return nil, err
+				}
+				if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+					sub, err := p.parseSelect()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+					return &InExpr{Child: left, Sub: sub, Negate: negate, Tok: tok}, nil
+				}
+				var list []ExprNode
+				for {
+					e, err := p.parseAdditive()
+					if err != nil {
+						return nil, err
+					}
+					list = append(list, e)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &InExpr{Child: left, List: list, Negate: negate, Tok: tok}, nil
+			case "BETWEEN":
+				p.next()
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				return &BetweenExpr{Child: left, Lo: lo, Hi: hi, Negate: negate, Tok: tok}, nil
+			}
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (ExprNode, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokSymbol && (p.peek().Text == "+" || p.peek().Text == "-") {
+		tok := p.next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: tok.Text, Left: left, Right: right, Tok: tok}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (ExprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokSymbol && (p.peek().Text == "*" || p.peek().Text == "/") {
+		tok := p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: tok.Text, Left: left, Right: right, Tok: tok}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (ExprNode, error) {
+	if p.peek().Kind == TokSymbol && p.peek().Text == "-" {
+		tok := p.next()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Child: child, Tok: tok}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parsePrimary() (ExprNode, error) {
+	tok := p.peek()
+	switch tok.Kind {
+	case TokNumber:
+		p.next()
+		if strings.ContainsAny(tok.Text, ".eE") {
+			f, err := strconv.ParseFloat(tok.Text, 64)
+			if err != nil {
+				return nil, errAt(tok, "bad number %q", tok.Text)
+			}
+			return &Lit{Kind: LitFloat, Flt: f, Tok: tok}, nil
+		}
+		i, err := strconv.ParseInt(tok.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(tok, "bad integer %q", tok.Text)
+		}
+		return &Lit{Kind: LitInt, Int: i, Tok: tok}, nil
+	case TokString:
+		p.next()
+		return &Lit{Kind: LitString, Str: tok.Text, Tok: tok}, nil
+	case TokKeyword:
+		switch tok.Text {
+		case "NULL":
+			p.next()
+			return &Lit{Kind: LitNull, Tok: tok}, nil
+		case "TRUE", "FALSE":
+			p.next()
+			return &Lit{Kind: LitBool, Bool: tok.Text == "TRUE", Tok: tok}, nil
+		}
+		if aggNames[tok.Text] {
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			call := &FuncCall{Name: tok.Text, Tok: tok}
+			if p.acceptSymbol("*") {
+				if tok.Text != "COUNT" {
+					return nil, errAt(tok, "%s(*) is not valid; only COUNT(*)", tok.Text)
+				}
+				call.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return nil, errAt(tok, "unexpected keyword %s in expression", tok)
+	case TokIdent:
+		p.next()
+		id := &Ident{Name: tok.Text, Tok: tok}
+		if p.peek().Kind == TokSymbol && p.peek().Text == "." {
+			p.next()
+			nt := p.peek()
+			if nt.Kind != TokIdent {
+				return nil, errAt(nt, "expected column name after %q., got %s", tok.Text, nt)
+			}
+			p.next()
+			id.Qualifier = tok.Text
+			id.Name = nt.Text
+		}
+		return id, nil
+	case TokSymbol:
+		if tok.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errAt(tok, "unexpected %s in expression", tok)
+}

@@ -1,0 +1,264 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t WHERE a < 10")
+	if len(stmt.Items) != 2 || stmt.From.Name != "t" || stmt.Where == nil {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if stmt.Limit != -1 {
+		t.Errorf("default limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseStarAndDistinct(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT * FROM t")
+	if !stmt.Distinct || !stmt.Items[0].Star {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT a AS x, b y FROM t AS u")
+	if stmt.Items[0].Alias != "x" || stmt.Items[1].Alias != "y" {
+		t.Errorf("aliases = %q, %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+	if stmt.From.Alias != "u" {
+		t.Errorf("table alias = %q", stmt.From.Alias)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t JOIN u ON t.id = u.id JOIN v ON u.k = v.k")
+	if len(stmt.Joins) != 2 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	if stmt.Joins[0].On == nil {
+		t.Error("first join must have ON")
+	}
+	stmt = mustParse(t, "SELECT a FROM t, u CROSS JOIN v")
+	if len(stmt.Joins) != 2 || stmt.Joins[0].On != nil || stmt.Joins[1].On != nil {
+		t.Fatalf("cross joins = %+v", stmt.Joins)
+	}
+	stmt = mustParse(t, "SELECT a FROM t INNER JOIN u ON t.x = u.x")
+	if len(stmt.Joins) != 1 || stmt.Joins[0].On == nil {
+		t.Fatal("INNER JOIN")
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT region, COUNT(*) AS n FROM sales
+		GROUP BY region HAVING COUNT(*) > 1
+		ORDER BY n DESC, region ASC LIMIT 5 OFFSET 2`)
+	if len(stmt.GroupBy) != 1 || stmt.Having == nil {
+		t.Fatalf("group/having missing: %+v", stmt)
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 5 || stmt.Offset != 2 {
+		t.Errorf("limit/offset = %d/%d", stmt.Limit, stmt.Offset)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+	if stmt.SetOp != SetUnion || stmt.Next == nil {
+		t.Fatal("first set op")
+	}
+	if stmt.Next.SetOp != SetUnionAll || stmt.Next.Next == nil {
+		t.Fatal("second set op")
+	}
+	stmt = mustParse(t, "SELECT a FROM t INTERSECT SELECT a FROM u")
+	if stmt.SetOp != SetIntersect {
+		t.Fatal("intersect")
+	}
+	stmt = mustParse(t, "SELECT a FROM t EXCEPT SELECT a FROM u")
+	if stmt.SetOp != SetExcept {
+		t.Fatal("except")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a + b * 2 < 10 OR NOT c = 1 AND d > 0")
+	// OR binds loosest: (a+b*2 < 10) OR ((NOT c=1) AND (d>0))
+	or, ok := stmt.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %T %v", stmt.Where, stmt.Where.SQL())
+	}
+	lt, ok := or.Left.(*BinaryExpr)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("left = %v", or.Left.SQL())
+	}
+	add, ok := lt.Left.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("additive = %v", lt.Left.SQL())
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("mul binds tighter than add: %v", add.Right.SQL())
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right = %v", or.Right.SQL())
+	}
+	if not, ok := and.Left.(*UnaryExpr); !ok || not.Op != "NOT" {
+		t.Fatalf("NOT parse: %v", and.Left.SQL())
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+	and := stmt.Where.(*BinaryExpr)
+	if l, ok := and.Left.(*IsNullExpr); !ok || l.Negate {
+		t.Fatalf("IS NULL: %v", and.Left.SQL())
+	}
+	if r, ok := and.Right.(*IsNullExpr); !ok || !r.Negate {
+		t.Fatalf("IS NOT NULL: %v", and.Right.SQL())
+	}
+
+	stmt = mustParse(t, "SELECT a FROM t WHERE name LIKE 'a%' AND city NOT LIKE '%x'")
+	and = stmt.Where.(*BinaryExpr)
+	if l := and.Left.(*LikeExpr); l.Pattern != "a%" || l.Negate {
+		t.Fatalf("LIKE: %+v", l)
+	}
+	if r := and.Right.(*LikeExpr); !r.Negate {
+		t.Fatalf("NOT LIKE: %+v", r)
+	}
+
+	stmt = mustParse(t, "SELECT a FROM t WHERE x IN (1, 2, 3) AND y NOT IN ('a')")
+	and = stmt.Where.(*BinaryExpr)
+	if l := and.Left.(*InExpr); len(l.List) != 3 || l.Negate {
+		t.Fatalf("IN: %+v", l)
+	}
+	if r := and.Right.(*InExpr); !r.Negate || len(r.List) != 1 {
+		t.Fatalf("NOT IN: %+v", r)
+	}
+
+	stmt = mustParse(t, "SELECT a FROM t WHERE x BETWEEN 1 AND 10 AND y NOT BETWEEN 0 AND 1")
+	and = stmt.Where.(*BinaryExpr)
+	if l := and.Left.(*BetweenExpr); l.Negate {
+		t.Fatalf("BETWEEN: %+v", l)
+	}
+	if r := and.Right.(*BetweenExpr); !r.Negate {
+		t.Fatalf("NOT BETWEEN: %+v", r)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1, -2, 2.5, 'hi', TRUE, FALSE, NULL FROM t")
+	kinds := []LitKind{LitInt, LitInt, LitFloat, LitString, LitBool, LitBool, LitNull}
+	for i, want := range kinds {
+		e := stmt.Items[i].Expr
+		if u, ok := e.(*UnaryExpr); ok {
+			e = u.Child
+		}
+		l, ok := e.(*Lit)
+		if !ok || l.Kind != want {
+			t.Errorf("item %d = %v (%T)", i, e.SQL(), e)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t")
+	if fc := stmt.Items[0].Expr.(*FuncCall); !fc.Star || fc.Name != "COUNT" {
+		t.Fatalf("COUNT(*): %+v", fc)
+	}
+	for i, name := range []string{"SUM", "AVG", "MIN", "MAX"} {
+		fc := stmt.Items[i+1].Expr.(*FuncCall)
+		if fc.Name != name || fc.Arg == nil {
+			t.Errorf("agg %d = %+v", i, fc)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP region",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t extra garbage",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t WHERE x LIKE 5",
+		"SELECT a FROM t WHERE x IN 1",
+		"SELECT a FROM t WHERE x BETWEEN 1",
+		"SELECT a. FROM t",
+		"UPDATE t SET x = 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT DISTINCT Company FROM Proposal WHERE (Funding < 1000000)",
+		"SELECT a AS x FROM t JOIN u ON (t.id = u.id) WHERE (a > 1) ORDER BY a DESC LIMIT 3",
+		"SELECT region, COUNT(*) FROM sales GROUP BY region HAVING (COUNT(*) > 1)",
+		"SELECT a FROM t UNION SELECT a FROM u",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE name NOT LIKE 'x%'",
+		"SELECT a FROM t WHERE x IN (1, 2)",
+		"SELECT a FROM t WHERE a IS NOT NULL",
+		"SELECT a FROM t CROSS JOIN u",
+	}
+	for _, q := range queries {
+		stmt := mustParse(t, q)
+		rendered := stmt.SQL()
+		// Re-parsing the rendered SQL must give the same rendering
+		// (idempotent canonical form).
+		again := mustParse(t, rendered)
+		if again.SQL() != rendered {
+			t.Errorf("round trip diverged:\n  first:  %s\n  second: %s", rendered, again.SQL())
+		}
+		// And the canonical form keeps the major clauses.
+		for _, kw := range []string{"SELECT", "FROM"} {
+			if !strings.Contains(rendered, kw) {
+				t.Errorf("rendering %q lost %s", rendered, kw)
+			}
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT a FROM\n  123")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2 (%v)", perr.Line, err)
+	}
+	if !strings.Contains(err.Error(), "sql:") {
+		t.Errorf("error rendering: %v", err)
+	}
+}

@@ -1,0 +1,480 @@
+package sql
+
+import (
+	"strings"
+
+	"pcqe/internal/relation"
+)
+
+// Statement is any executable SQL statement. SelectStmt is one;
+// the DDL/DML statements below are the others.
+type Statement interface {
+	Node
+	stmtNode()
+}
+
+func (*SelectStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+func (*CreateIndexStmt) stmtNode() {}
+func (*DropTableStmt) stmtNode()   {}
+func (*InsertStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*ExplainStmt) stmtNode()     {}
+
+// CreateIndexStmt is "CREATE INDEX ON table (column)".
+type CreateIndexStmt struct {
+	Table  string
+	Column string
+	Tok    Token
+}
+
+// SQL implements Node.
+func (s *CreateIndexStmt) SQL() string {
+	return "CREATE INDEX ON " + quoteIdent(s.Table) + " (" + quoteIdent(s.Column) + ")"
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type relation.Type
+}
+
+// CreateTableStmt is "CREATE TABLE name (col TYPE, ...)".
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// SQL implements Node.
+func (s *CreateTableStmt) SQL() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = quoteIdent(c.Name) + " " + c.Type.String()
+	}
+	return "CREATE TABLE " + quoteIdent(s.Name) + " (" + strings.Join(parts, ", ") + ")"
+}
+
+// DropTableStmt is "DROP TABLE name".
+type DropTableStmt struct {
+	Name string
+}
+
+// SQL implements Node.
+func (s *DropTableStmt) SQL() string { return "DROP TABLE " + quoteIdent(s.Name) }
+
+// InsertStmt is
+// "INSERT INTO t [(cols)] VALUES (...), ... [WITH CONFIDENCE c [COST r]]".
+// The PCQE extension clause attaches a confidence (default 1) and a
+// linear improvement cost rate (default: row not improvable) to every
+// inserted row.
+type InsertStmt struct {
+	Table      string
+	Columns    []string // empty = schema order
+	Rows       [][]ExprNode
+	Confidence ExprNode // nil = 1.0
+	CostRate   ExprNode // nil = not improvable
+	Tok        Token
+}
+
+// SQL implements Node.
+func (s *InsertStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + quoteIdent(s.Table))
+	if len(s.Columns) > 0 {
+		quoted := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			quoted[i] = quoteIdent(c)
+		}
+		b.WriteString(" (" + strings.Join(quoted, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	if s.Confidence != nil {
+		b.WriteString(" WITH CONFIDENCE " + s.Confidence.SQL())
+		if s.CostRate != nil {
+			b.WriteString(" COST " + s.CostRate.SQL())
+		}
+	}
+	return b.String()
+}
+
+// DeleteStmt is "DELETE FROM t [WHERE cond]".
+type DeleteStmt struct {
+	Table string
+	Where ExprNode
+	Tok   Token
+}
+
+// SQL implements Node.
+func (s *DeleteStmt) SQL() string {
+	out := "DELETE FROM " + quoteIdent(s.Table)
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+// SetClause is one assignment in UPDATE. The pseudo-column
+// "_confidence" targets the row's confidence value.
+type SetClause struct {
+	Column string
+	Value  ExprNode
+}
+
+// UpdateStmt is "UPDATE t SET col = expr, ... [WHERE cond]".
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where ExprNode
+	Tok   Token
+}
+
+// SQL implements Node.
+func (s *UpdateStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + quoteIdent(s.Table) + " SET ")
+	for i, c := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(c.Column) + " = " + c.Value.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+// ExplainStmt is "EXPLAIN SELECT ...".
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+// SQL implements Node.
+func (s *ExplainStmt) SQL() string { return "EXPLAIN " + s.Query.SQL() }
+
+// typeKeywords maps SQL type names to relation types.
+var typeKeywords = map[string]relation.Type{
+	"INTEGER": relation.TypeInt,
+	"INT":     relation.TypeInt,
+	"REAL":    relation.TypeFloat,
+	"FLOAT":   relation.TypeFloat,
+	"DOUBLE":  relation.TypeFloat,
+	"TEXT":    relation.TypeString,
+	"VARCHAR": relation.TypeString,
+	"STRING":  relation.TypeString,
+	"BOOLEAN": relation.TypeBool,
+	"BOOL":    relation.TypeBool,
+}
+
+// ParseStatement parses a single statement of any kind (a trailing
+// semicolon is allowed).
+func ParseStatement(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if p.peek().Kind != TokEOF {
+		return nil, errAt(p.peek(), "unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for p.peek().Kind != TokEOF {
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+		if !p.acceptSymbol(";") {
+			break
+		}
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, errAt(p.peek(), "unexpected %s after statement", p.peek())
+	}
+	return out, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	tok := p.peek()
+	if tok.Kind != TokKeyword {
+		return nil, errAt(tok, "expected a statement, got %s", tok)
+	}
+	switch tok.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "EXPLAIN":
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: q}, nil
+	case "CREATE":
+		return p.parseCreateTable()
+	case "DROP":
+		return p.parseDropTable()
+	case "INSERT":
+		return p.parseInsert()
+	case "DELETE":
+		return p.parseDelete()
+	case "UPDATE":
+		return p.parseUpdate()
+	}
+	return nil, errAt(tok, "unsupported statement %s", tok)
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("INDEX") {
+		return p.parseCreateIndexTail()
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: nameTok.Text}
+	for {
+		colTok := p.peek()
+		if colTok.Kind != TokIdent {
+			return nil, errAt(colTok, "expected column name, got %s", colTok)
+		}
+		p.next()
+		typeTok := p.peek()
+		typ, ok := relation.TypeNull, false
+		if typeTok.Kind == TokKeyword {
+			typ, ok = typeKeywords[typeTok.Text]
+		}
+		if !ok {
+			return nil, errAt(typeTok, "expected a column type, got %s", typeTok)
+		}
+		p.next()
+		stmt.Columns = append(stmt.Columns, ColumnDef{Name: colTok.Text, Type: typ})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseCreateIndexTail parses "ON table (column)" after CREATE INDEX.
+func (p *parser) parseCreateIndexTail() (Statement, error) {
+	tok := p.peek()
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	colTok := p.peek()
+	if colTok.Kind != TokIdent {
+		return nil, errAt(colTok, "expected column name, got %s", colTok)
+	}
+	p.next()
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Table: nameTok.Text, Column: colTok.Text, Tok: tok}, nil
+}
+
+func (p *parser) parseDropTable() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	return &DropTableStmt{Name: nameTok.Text}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	tok := p.peek()
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	stmt := &InsertStmt{Table: nameTok.Text, Tok: tok}
+	if p.acceptSymbol("(") {
+		for {
+			colTok := p.peek()
+			if colTok.Kind != TokIdent {
+				return nil, errAt(colTok, "expected column name, got %s", colTok)
+			}
+			p.next()
+			stmt.Columns = append(stmt.Columns, colTok.Text)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []ExprNode
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WITH") {
+		if err := p.expectKeyword("CONFIDENCE"); err != nil {
+			return nil, err
+		}
+		conf, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Confidence = conf
+		if p.acceptKeyword("COST") {
+			rate, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.CostRate = rate
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	tok := p.peek()
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	stmt := &DeleteStmt{Table: nameTok.Text, Tok: tok}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	tok := p.peek()
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	nameTok := p.peek()
+	if nameTok.Kind != TokIdent {
+		return nil, errAt(nameTok, "expected table name, got %s", nameTok)
+	}
+	p.next()
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: nameTok.Text, Tok: tok}
+	for {
+		colTok := p.peek()
+		if colTok.Kind != TokIdent {
+			return nil, errAt(colTok, "expected column name, got %s", colTok)
+		}
+		p.next()
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetClause{Column: colTok.Text, Value: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}

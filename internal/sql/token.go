@@ -1,0 +1,91 @@
+// Package sql implements a small SQL front end for the PCQE framework: a
+// lexer, a recursive-descent parser producing an AST, and a planner that
+// compiles the AST into lineage-propagating relational operators from
+// internal/relation.
+//
+// The supported subset covers the paper's query class (select-project-
+// join with duplicate elimination) plus the conveniences a demo database
+// needs:
+//
+//	SELECT [DISTINCT] expr [AS name], ... | *
+//	FROM table [AS alias] [, table]... [JOIN table ON cond]...
+//	[WHERE cond] [GROUP BY exprs] [HAVING cond]
+//	[ORDER BY expr [ASC|DESC], ...] [LIMIT n [OFFSET m]]
+//	plus UNION [ALL] / INTERSECT / EXCEPT between selects.
+package sql
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol // operators and punctuation
+)
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased, identifiers keep their case
+	Pos  int    // byte offset in the input
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string '%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords recognized by the lexer (always upper-cased in Token.Text).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true,
+	"JOIN": true, "INNER": true, "ON": true, "CROSS": true,
+	"UNION": true, "ALL": true, "INTERSECT": true, "EXCEPT": true,
+	"NULL": true, "TRUE": true, "FALSE": true,
+	"IS": true, "IN": true, "LIKE": true, "BETWEEN": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	// Statements beyond SELECT.
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DELETE": true, "UPDATE": true,
+	"SET": true, "WITH": true, "CONFIDENCE": true, "COST": true,
+	"EXPLAIN": true, "INDEX": true,
+	// Column types.
+	"INTEGER": true, "INT": true, "REAL": true, "FLOAT": true,
+	"DOUBLE": true, "TEXT": true, "VARCHAR": true, "STRING": true,
+	"BOOLEAN": true, "BOOL": true,
+}
+
+// Error is a parse or planning error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sql: %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sql: " + e.Msg
+}
+
+func errAt(tok Token, format string, args ...any) error {
+	return &Error{Line: tok.Line, Col: tok.Col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,89 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForce exhaustively enumerates every δ-grid assignment and returns
+// the provably optimal plan. It is exponential (domain^tuples) and
+// refuses instances beyond a small size; it exists as the ground-truth
+// oracle for testing the three real solvers.
+type BruteForce struct {
+	// MaxAssignments bounds the search space size (default 2,000,000).
+	MaxAssignments int
+}
+
+// Name implements Solver.
+func (b *BruteForce) Name() string { return "brute-force" }
+
+// Solve implements Solver.
+func (b *BruteForce) Solve(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !feasible(in) {
+		return nil, ErrInfeasible
+	}
+	limit := b.MaxAssignments
+	if limit <= 0 {
+		limit = 2_000_000
+	}
+	domains := make([][]float64, len(in.Base))
+	total := 1
+	for i, tup := range in.Base {
+		var dom []float64
+		for v := tup.P; ; v += in.Delta {
+			if v > tup.maxP() {
+				if dom[len(dom)-1] < tup.maxP()-1e-12 {
+					dom = append(dom, tup.maxP())
+				}
+				break
+			}
+			dom = append(dom, v)
+			if v >= tup.maxP() {
+				break
+			}
+		}
+		domains[i] = dom
+		total *= len(dom)
+		if total > limit {
+			return nil, fmt.Errorf("strategy: brute force space %d exceeds limit %d", total, limit)
+		}
+	}
+
+	e := newEvaluator(in)
+	var best *Plan
+	bestCost := math.Inf(1)
+	nodes := 0
+	idx := make([]int, len(in.Base))
+	for {
+		nodes++
+		if e.nSat >= in.Need {
+			if c := e.totalCost(); c < bestCost {
+				best = e.plan(nodes)
+				bestCost = c
+			}
+		}
+		// Odometer increment.
+		k := 0
+		for k < len(idx) {
+			idx[k]++
+			if idx[k] < len(domains[k]) {
+				e.setP(k, domains[k][idx[k]])
+				break
+			}
+			idx[k] = 0
+			e.setP(k, domains[k][0])
+			k++
+		}
+		if k == len(idx) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	best.Nodes = nodes
+	return best, nil
+}

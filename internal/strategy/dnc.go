@@ -1,0 +1,446 @@
+package strategy
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DivideAndConquer is the paper's scalable algorithm (Section 4.3): it
+// partitions the result-sharing graph — nodes are intermediate results,
+// edge weights count shared base tuples — by repeatedly merging the pair
+// of groups with the maximum connecting weight until that weight drops
+// below γ; it then solves every group with the greedy algorithm (plus a
+// heuristic search seeded with the greedy bound when the group has fewer
+// than τ base tuples), combines the group plans by taking the maximum
+// planned confidence for base tuples shared across groups, and finally
+// refines the combined plan by undoing increments the combination made
+// redundant.
+//
+// Note on the weight definition: the paper's pseudocode (Figure 10)
+// writes wij ← |Gi ∪ Gj| but the text and the worked example (Figure 8:
+// results sharing three base tuples get weight 3) define the weight as
+// the number of shared tuples, so this implementation uses |Gi ∩ Gj|.
+// Similarly the pseudocode merges while wmax > γ but the worked example
+// merges at wmax = γ = 2; we follow the example (merge while wmax ≥ γ).
+type DivideAndConquer struct {
+	// Gamma is the partition threshold γ: merging stops when the
+	// maximum inter-group weight falls below it. Values < 1 collapse to
+	// 1 (weight-0 pairs share nothing and are never merged).
+	Gamma int
+	// Tau is the heuristic-search cutoff τ: groups with fewer base
+	// tuples than this also run the heuristic (greedy-seeded). 0
+	// disables the per-group heuristic.
+	Tau int
+	// MaxGroupResults caps a group's size in results, the paper's first
+	// partitioning requirement ("the number of base tuples associated
+	// with the result tuples in the same group should not exceed a
+	// threshold"); merges that would exceed it are skipped. 0 = no cap.
+	MaxGroupResults int
+	// Parallel solves group sub-instances on GOMAXPROCS worker
+	// goroutines. Groups are independent, so plans stay valid; with
+	// tuples shared across groups the combined plan may differ slightly
+	// from the sequential one (both satisfy the instance).
+	Parallel bool
+}
+
+// NewDivideAndConquer returns the configuration used in the benchmarks:
+// γ=1 (any sharing groups results together), τ=8, and a 64-result group
+// cap — the paper's first partitioning requirement ("each sub-problem is
+// solvable in reasonable time"), which also keeps the giant connected
+// component of dense workloads from collapsing D&C into plain greedy.
+func NewDivideAndConquer() *DivideAndConquer {
+	return &DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64}
+}
+
+// Name implements Solver.
+func (d *DivideAndConquer) Name() string { return "divide-and-conquer" }
+
+// Solve implements Solver.
+func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !feasible(in) {
+		return nil, ErrInfeasible
+	}
+	gamma := d.Gamma
+	if gamma < 1 {
+		gamma = 1
+	}
+
+	groups := Partition(in, gamma, d.MaxGroupResults)
+
+	e := newEvaluator(in)
+	nodes := 0
+	totalNeed := in.Need - e.nSat
+	if totalNeed <= 0 {
+		return e.plan(0), nil
+	}
+
+	// Deterministic group order (larger groups first).
+	sort.Slice(groups, func(a, b int) bool {
+		if len(groups[a].Results) != len(groups[b].Results) {
+			return len(groups[a].Results) > len(groups[b].Results)
+		}
+		return groups[a].Results[0] < groups[b].Results[0]
+	})
+
+	combined := make([]float64, len(in.Base))
+	for i, b := range in.Base {
+		combined[i] = b.P
+	}
+
+	// Per the paper: each group with x results solves for min(x, y)
+	// where y is the query's total requirement; the combination then
+	// over-satisfies, and the refinement step removes the most
+	// expensive surplus increments. This deliberately trades extra
+	// per-group work for a cheaper combined plan.
+	type groupTask struct {
+		sub     *Instance
+		mapping []int
+		plan    *Plan
+		nodes   int
+	}
+	tasks := make([]*groupTask, 0, len(groups))
+	for _, g := range groups {
+		sub, mapping := g.subInstance(in)
+		// Already-satisfied group results come for free and still count
+		// toward the sub-instance's satisfied set, so the sub-need is
+		// free + however many new ones this group should contribute.
+		unsat, free := 0, 0
+		for _, ri := range g.Results {
+			if e.satisfied[ri] {
+				free++
+			} else {
+				unsat++
+			}
+		}
+		if unsat == 0 {
+			continue
+		}
+		need := unsat
+		if need > totalNeed {
+			need = totalNeed
+		}
+		sub.Need = free + need
+		if !feasible(sub) {
+			// Lower the group's target to what it can actually deliver.
+			max := maxSatisfiable(sub)
+			if max <= free {
+				continue
+			}
+			sub.Need = max
+		}
+		tasks = append(tasks, &groupTask{sub: sub, mapping: mapping})
+	}
+
+	// Solve every group, optionally in parallel: sub-instances are
+	// independent, so worker goroutines never share state; only the
+	// combination below is ordered.
+	workers := 1
+	if d.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	var wg sync.WaitGroup
+	queue := make(chan *groupTask)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				t.plan, t.nodes = d.solveGroup(t.sub)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		queue <- t
+	}
+	close(queue)
+	wg.Wait()
+
+	// Combine in deterministic order: maximum confidence per tuple.
+	for _, t := range tasks {
+		nodes += t.nodes
+		if t.plan == nil {
+			continue
+		}
+		for si, bi := range t.mapping {
+			if t.plan.NewP[si] > combined[bi] {
+				combined[bi] = t.plan.NewP[si]
+			}
+		}
+		for _, bi := range t.mapping {
+			e.setP(bi, combined[bi])
+		}
+	}
+
+	if e.nSat < in.Need {
+		// Groups under-delivered (can happen when a result's tuples were
+		// split by the γ threshold). Fall back to global greedy from the
+		// combined state.
+		if !finishGreedy(in, e) {
+			return nil, ErrInfeasible
+		}
+	}
+
+	// Refinement: like greedy phase 2, undo increments the combination
+	// made unnecessary, cheapest-contribution first.
+	refine(in, e)
+
+	p := e.plan(nodes)
+	return p, nil
+}
+
+// solveGroup solves one sub-instance: greedy always, plus an exact
+// greedy-seeded heuristic search when the group is small (< τ tuples).
+// It returns (nil, nodes) when the group cannot be solved.
+func (d *DivideAndConquer) solveGroup(sub *Instance) (*Plan, int) {
+	plan, err := (&Greedy{}).Solve(sub)
+	if err != nil {
+		return nil, 0
+	}
+	nodes := plan.Nodes
+	if d.Tau > 0 && len(sub.Base) < d.Tau {
+		h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true}
+		hs := &heuristicSearch{Heuristic: h, in: sub, e: newEvaluator(sub), bestCost: plan.Cost, best: plan}
+		hs.order = make([]int, len(sub.Base))
+		for i := range hs.order {
+			hs.order[i] = i
+		}
+		cb := costBetas(sub)
+		sort.SliceStable(hs.order, func(a, b int) bool { return cb[hs.order[a]] > cb[hs.order[b]] })
+		hs.prepare()
+		hs.dfs(0, 0)
+		nodes += hs.nodes
+		if hs.best != nil && hs.best.Cost <= plan.Cost {
+			plan = hs.best
+		}
+	}
+	return plan, nodes
+}
+
+// finishGreedy runs greedy phase-1 steps on the global instance from the
+// evaluator's current state until Need is met. Returns false if stuck.
+func finishGreedy(in *Instance, e *evaluator) bool {
+	for e.nSat < in.Need {
+		pick, best := -1, 0.0
+		for bi, b := range in.Base {
+			next := stepUp(b, in.Delta, e.p[bi])
+			if next == e.p[bi] {
+				continue
+			}
+			c := b.Cost.Increment(e.p[bi], next)
+			df := e.deltaF(bi, next)
+			if c <= 0 || df <= 0 {
+				continue
+			}
+			if g := df / c; g > best {
+				pick, best = bi, g
+			}
+		}
+		if pick < 0 {
+			pick = cheapestStep(in, e)
+			if pick < 0 {
+				return false
+			}
+		}
+		next := stepUp(in.Base[pick], in.Delta, e.p[pick])
+		if next == e.p[pick] {
+			return false
+		}
+		e.setP(pick, next)
+	}
+	return true
+}
+
+// refine lowers raised tuples by δ steps while the requirement stays
+// met, walking tuples in ascending order of (raised amount × unit cost)
+// so the least valuable increments are reclaimed first.
+func refine(in *Instance, e *evaluator) {
+	raised := make([]int, 0)
+	for bi, b := range in.Base {
+		if e.p[bi] > b.P+1e-12 {
+			raised = append(raised, bi)
+		}
+	}
+	sort.Slice(raised, func(a, b int) bool {
+		ca := in.Base[raised[a]].Cost.Increment(in.Base[raised[a]].P, e.p[raised[a]])
+		cb := in.Base[raised[b]].Cost.Increment(in.Base[raised[b]].P, e.p[raised[b]])
+		if ca != cb {
+			return ca > cb // most expensive raised tuple first
+		}
+		return raised[a] < raised[b]
+	})
+	for _, bi := range raised {
+		for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+			prev := e.p[bi]
+			next := stepDown(in.Base[bi], in.Delta, prev)
+			e.setP(bi, next)
+			if e.nSat < in.Need {
+				e.setP(bi, prev)
+				break
+			}
+		}
+	}
+}
+
+// maxSatisfiable counts how many of the instance's results can be at β
+// when every tuple is at its maximum.
+func maxSatisfiable(in *Instance) int {
+	e := newEvaluator(in)
+	for i, b := range in.Base {
+		e.setP(i, b.maxP())
+	}
+	return e.nSat
+}
+
+// Group is one partition cell: result indices and the union of their
+// base-tuple indices (both into the parent instance).
+type Group struct {
+	Results []int
+	Base    []int
+}
+
+// Partition builds the result-sharing graph and merges greedily: the two
+// groups connected with the maximum total weight merge until the maximum
+// falls below gamma. maxResults, when positive, blocks merges that would
+// produce a group with more results than the cap.
+func Partition(in *Instance, gamma, maxResults int) []Group {
+	n := len(in.Results)
+	varIdx := map[int]int{}
+	for i, b := range in.Base {
+		varIdx[int(b.Var)] = i
+	}
+	baseSets := make([]map[int]bool, n)
+	for ri, r := range in.Results {
+		set := map[int]bool{}
+		for _, v := range r.Formula.Vars() {
+			set[varIdx[int(v)]] = true
+		}
+		baseSets[ri] = set
+	}
+
+	// Pairwise result weights (shared base tuples).
+	type edge struct{ a, b int }
+	weight := map[edge]int{}
+	// Build via inverted index to avoid O(n²) when sharing is sparse.
+	byBase := map[int][]int{}
+	for ri, set := range baseSets {
+		for bi := range set {
+			byBase[bi] = append(byBase[bi], ri)
+		}
+	}
+	for _, rs := range byBase {
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				a, b := rs[i], rs[j]
+				if a > b {
+					a, b = b, a
+				}
+				weight[edge{a, b}]++
+			}
+		}
+	}
+
+	// Union-find over results; group weights accumulate by summing the
+	// pairwise result weights (the paper's merge rule).
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Iteratively merge the heaviest group pair. Group-pair weights are
+	// maintained lazily: recompute from surviving result edges.
+	type gedge struct{ a, b int }
+	for {
+		gw := map[gedge]int{}
+		for e2, w := range weight {
+			ra, rb := find(e2.a), find(e2.b)
+			if ra == rb {
+				continue
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			gw[gedge{ra, rb}] += w
+		}
+		bestW, bestA, bestB := 0, -1, -1
+		for ge, w := range gw {
+			if maxResults > 0 && size[ge.a]+size[ge.b] > maxResults {
+				continue
+			}
+			if w > bestW || (w == bestW && (bestA < 0 || ge.a < bestA || (ge.a == bestA && ge.b < bestB))) {
+				bestW, bestA, bestB = w, ge.a, ge.b
+			}
+		}
+		if bestA < 0 || bestW < gamma {
+			break
+		}
+		// Union by attaching the higher root under the lower for
+		// deterministic group identities.
+		parent[bestB] = bestA
+		size[bestA] += size[bestB]
+	}
+
+	byRoot := map[int][]int{}
+	for ri := 0; ri < n; ri++ {
+		r := find(ri)
+		byRoot[r] = append(byRoot[r], ri)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	groups := make([]Group, 0, len(roots))
+	for _, r := range roots {
+		g := Group{Results: byRoot[r]}
+		baseSet := map[int]bool{}
+		for _, ri := range g.Results {
+			for bi := range baseSets[ri] {
+				baseSet[bi] = true
+			}
+		}
+		for bi := range baseSet {
+			g.Base = append(g.Base, bi)
+		}
+		sort.Ints(g.Base)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// subInstance extracts the group as a standalone instance; mapping[i]
+// gives the parent base index of the sub-instance's i-th tuple.
+func (g Group) subInstance(in *Instance) (*Instance, []int) {
+	sub := &Instance{
+		Beta:  in.Beta,
+		Delta: in.Delta,
+	}
+	mapping := append([]int{}, g.Base...)
+	for _, bi := range mapping {
+		sub.Base = append(sub.Base, in.Base[bi])
+	}
+	for _, ri := range g.Results {
+		sub.Results = append(sub.Results, in.Results[ri])
+	}
+	sub.Need = len(sub.Results)
+	return sub, mapping
+}

@@ -1,0 +1,180 @@
+package strategy
+
+import (
+	"sort"
+)
+
+// Greedy is the paper's two-phase greedy algorithm (Section 4.2,
+// Figure 6). Phase 1 repeatedly raises by δ the base tuple with the
+// maximum gain* = Σ_λ ΔF_λ / Δcost (summing over still-unsatisfied
+// results the tuple contributes to) until the required number of results
+// reaches β. Phase 2 walks the raised tuples in ascending final gain*
+// and lowers each by δ steps as long as the requirement stays met,
+// undoing increments the aggressive first phase did not need.
+type Greedy struct {
+	// SkipRefinement disables phase 2 (the paper's "one-phase" baseline
+	// in Figures 11(b) and 11(e)).
+	SkipRefinement bool
+	// Incremental recomputes gains only for tuples whose results were
+	// touched by the previous pick instead of rescanning every tuple
+	// each iteration. It produces the same plan (ties break on the
+	// lowest index either way) and is the ablation in
+	// BenchmarkAblationGainIncremental. The paper's algorithm rescans.
+	Incremental bool
+}
+
+// Name implements Solver.
+func (g *Greedy) Name() string {
+	switch {
+	case g.SkipRefinement:
+		return "greedy-1phase"
+	case g.Incremental:
+		return "greedy-incremental"
+	default:
+		return "greedy"
+	}
+}
+
+// Solve implements Solver.
+func (g *Greedy) Solve(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !feasible(in) {
+		return nil, ErrInfeasible
+	}
+	e := newEvaluator(in)
+	nodes := 0
+
+	// gainOf prices one δ step of tuple bi (the last step clamps to the
+	// tuple's maximum); a negative value marks the tuple as exhausted
+	// or useless.
+	gainOf := func(bi int) float64 {
+		b := in.Base[bi]
+		next := stepUp(b, in.Delta, e.p[bi])
+		if next == e.p[bi] {
+			return -1
+		}
+		c := b.Cost.Increment(e.p[bi], next)
+		df := e.deltaF(bi, next)
+		nodes++
+		if c <= 0 {
+			if df > 0 {
+				return inf
+			}
+			return -1
+		}
+		return df / c
+	}
+
+	gains := make([]float64, len(in.Base))
+	for i := range in.Base {
+		gains[i] = gainOf(i)
+	}
+	lastGain := make([]float64, len(in.Base)) // final gain* per raised tuple
+	raised := map[int]bool{}
+
+	// --- Phase 1: aggressive increase. ---
+	for e.nSat < in.Need {
+		if g.Incremental {
+			// gains[] is current; nothing to do.
+		} else {
+			for i := range in.Base {
+				gains[i] = gainOf(i)
+			}
+		}
+		pick, best := -1, 0.0
+		for i, gn := range gains {
+			if gn > best {
+				pick, best = i, gn
+			}
+		}
+		if pick < 0 {
+			// No positive gain anywhere. Feasibility was established, so
+			// this means every unsatisfied result needs multi-tuple
+			// increments whose single steps show zero marginal gain —
+			// push the cheapest available step instead to keep moving.
+			pick = cheapestStep(in, e)
+			if pick < 0 {
+				return nil, ErrInfeasible
+			}
+		}
+		b := in.Base[pick]
+		next := stepUp(b, in.Delta, e.p[pick])
+		if next == e.p[pick] {
+			return nil, ErrInfeasible // defensive; pick was validated
+		}
+		e.setP(pick, next)
+		raised[pick] = true
+		lastGain[pick] = best
+		if g.Incremental {
+			// Only tuples sharing a result with the pick can change.
+			dirty := map[int]bool{pick: true}
+			for _, ri := range e.resultsOf[pick] {
+				for _, v := range in.Results[ri].Formula.Vars() {
+					dirty[e.varIdx[v]] = true
+				}
+			}
+			for bi := range dirty {
+				gains[bi] = gainOf(bi)
+			}
+		}
+	}
+
+	// --- Phase 2: refinement. ---
+	if !g.SkipRefinement {
+		order := make([]int, 0, len(raised))
+		for bi := range raised {
+			order = append(order, bi)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if lastGain[order[a]] != lastGain[order[b]] {
+				return lastGain[order[a]] < lastGain[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for _, bi := range order {
+			for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+				prev := e.p[bi]
+				next := stepDown(in.Base[bi], in.Delta, prev)
+				e.setP(bi, next)
+				if e.nSat < in.Need {
+					e.setP(bi, prev) // undo: this step was load-bearing
+					break
+				}
+			}
+		}
+	}
+
+	return e.plan(nodes), nil
+}
+
+// cheapestStep returns the index of the tuple with the cheapest
+// available δ increment that touches at least one unsatisfied result, or
+// -1 when none exists.
+func cheapestStep(in *Instance, e *evaluator) int {
+	best, bestCost := -1, 0.0
+	for bi, b := range in.Base {
+		next := stepUp(b, in.Delta, e.p[bi])
+		if next == e.p[bi] {
+			continue
+		}
+		touches := false
+		for _, ri := range e.resultsOf[bi] {
+			if !e.satisfied[ri] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		c := b.Cost.Increment(e.p[bi], next)
+		if best < 0 || c < bestCost {
+			best, bestCost = bi, c
+		}
+	}
+	return best
+}
+
+const inf = 1e300

@@ -1,0 +1,293 @@
+package strategy
+
+import (
+	"math"
+	"sort"
+)
+
+// Heuristic is the paper's depth-first branch-and-bound search
+// (Section 4.1): each base tuple is a search variable whose domain is
+// {p, p+δ, ..., maxP}; a node assigns the next variable a value, and a
+// partial assignment is a solution once at least Need results reach β.
+// The current best cost always prunes ("Naive" mode); the four
+// heuristics add:
+//
+//	H1 — order variables by descending costβ (the minimum cost at which
+//	     the tuple alone can push one of its results to β), so cheap,
+//	     impactful tuples are assigned deep where solutions form fast;
+//	H2 — if after assigning a value every result the tuple contributes
+//	     to already meets β, higher values for it are pure waste: prune
+//	     the right siblings;
+//	H3 — if raising all unassigned tuples to their maxima still cannot
+//	     reach Need, prune the subtree;
+//	H4 — if the current cost plus the cheapest possible next increment
+//	     already exceeds the best cost, prune the subtree.
+type Heuristic struct {
+	// UseH1..UseH4 toggle the individual heuristics (for Figure 11(a)
+	// and 11(d)).
+	UseH1, UseH2, UseH3, UseH4 bool
+	// GreedyBound seeds the upper bound with the two-phase greedy
+	// solution before searching (Figure 11(d)).
+	GreedyBound bool
+	// MaxNodes aborts the search after this many nodes and returns the
+	// best plan found so far (0 = unlimited). The search is exact when
+	// it completes within the budget.
+	MaxNodes int
+}
+
+// NewHeuristic returns the full configuration: all four heuristics on,
+// greedy-seeded bound.
+func NewHeuristic() *Heuristic {
+	return &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, GreedyBound: true}
+}
+
+// Name implements Solver.
+func (h *Heuristic) Name() string { return "heuristic" }
+
+type heuristicSearch struct {
+	*Heuristic
+	in    *Instance
+	e     *evaluator
+	order []int // variable order (base indices)
+	// maxEval mirrors the search state but keeps every *unassigned*
+	// variable at its maximum; its satisfied count is exactly H3's
+	// reachability bound and is maintained incrementally.
+	maxEval  *evaluator
+	best     *Plan
+	bestCost float64
+	nodes    int
+	aborted  bool
+	// cheapestInc[i] is the cost of one δ step from the initial
+	// confidence for order[i] — a lower bound on any increment of that
+	// variable used by H4.
+	cheapestInc []float64
+	// minIncSuffix[d] = min over order[d:] of cheapestInc (H4's bound
+	// for the remaining variables), precomputed once.
+	minIncSuffix []float64
+}
+
+// Solve implements Solver.
+func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !feasible(in) {
+		return nil, ErrInfeasible
+	}
+	s := &heuristicSearch{
+		Heuristic: h,
+		in:        in,
+		e:         newEvaluator(in),
+		bestCost:  math.Inf(1),
+	}
+
+	// Variable ordering (H1 or instance order).
+	s.order = make([]int, len(in.Base))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	if h.UseH1 {
+		cb := costBetas(in)
+		sort.SliceStable(s.order, func(a, b int) bool {
+			return cb[s.order[a]] > cb[s.order[b]] // descending: costly near the root
+		})
+	}
+
+	s.prepare()
+
+	if h.GreedyBound {
+		if gp, err := (&Greedy{}).Solve(in); err == nil {
+			s.best = gp
+			s.bestCost = gp.Cost
+		}
+	}
+
+	// The initial state may already satisfy the requirement at zero
+	// cost.
+	if s.e.nSat >= in.Need {
+		p := s.e.plan(0)
+		return p, nil
+	}
+
+	s.dfs(0, 0)
+	if s.best == nil {
+		// Cannot happen for feasible instances with an exhaustive
+		// search, but guard against a node budget that was too small.
+		return nil, ErrInfeasible
+	}
+	s.best.Nodes = s.nodes
+	return s.best, nil
+}
+
+// prepare builds the ancillary search structures: the per-variable
+// cheapest-increment table, its suffix minima (H4), and the H3 mirror
+// evaluator with all variables at their maxima.
+func (s *heuristicSearch) prepare() {
+	in := s.in
+	s.cheapestInc = make([]float64, len(in.Base))
+	for i, b := range in.Base {
+		next := b.P + in.Delta
+		if next > b.maxP() {
+			next = b.maxP()
+		}
+		s.cheapestInc[i] = b.Cost.Increment(b.P, next)
+	}
+	s.minIncSuffix = make([]float64, len(s.order)+1)
+	s.minIncSuffix[len(s.order)] = math.Inf(1)
+	for d := len(s.order) - 1; d >= 0; d-- {
+		s.minIncSuffix[d] = math.Min(s.minIncSuffix[d+1], s.cheapestInc[s.order[d]])
+	}
+	if s.UseH3 {
+		s.maxEval = newEvaluator(in)
+		for i, b := range in.Base {
+			s.maxEval.setP(i, b.maxP())
+		}
+	}
+}
+
+// dfs assigns values to order[depth:]; the evaluator holds the values of
+// order[:depth] (and initial confidences beyond), and costSoFar prices
+// that partial assignment.
+func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
+	if s.aborted {
+		return
+	}
+	if depth == len(s.order) {
+		return
+	}
+	bi := s.order[depth]
+	b := s.in.Base[bi]
+	orig := b.P
+	maxP := b.maxP()
+
+	for v := orig; ; v += s.in.Delta {
+		if v > maxP {
+			// Final partial step to the exact maximum, if the grid
+			// overshot and we have not tried maxP yet.
+			if v-s.in.Delta < maxP-1e-12 {
+				v = maxP
+			} else {
+				break
+			}
+		}
+		s.nodes++
+		if s.MaxNodes > 0 && s.nodes > s.MaxNodes {
+			s.aborted = true
+			break
+		}
+		s.e.setP(bi, v)
+		if s.UseH3 {
+			s.maxEval.setP(bi, v)
+		}
+		cost := costSoFar + b.Cost.Increment(orig, v)
+
+		// Cost bound (always on — this is the "Naive" pruning).
+		if cost >= s.bestCost {
+			break // higher values of this variable only cost more
+		}
+
+		if s.e.nSat >= s.in.Need {
+			// Solution at this node; record and stop growing this
+			// variable (higher values cannot be cheaper).
+			s.best = s.e.plan(s.nodes)
+			s.bestCost = s.best.Cost
+			break
+		}
+
+		// H3: can the remaining variables (at their maxima) still reach
+		// Need? The mirror evaluator holds exactly that state.
+		if s.UseH3 && s.maxEval.nSat < s.in.Need {
+			// Raising this variable further may still help, so continue
+			// the value loop but do not descend.
+			continue
+		}
+
+		// H4: even the cheapest further increment busts the bound —
+		// prune the subtree below this node. Right siblings stay: a
+		// higher value of this variable could itself be a (cheaper than
+		// bestCost) solution, and the plain cost bound terminates the
+		// value loop as soon as that stops being possible.
+		if s.UseH4 {
+			minInc := s.minIncSuffix[depth+1]
+			if math.IsInf(minInc, 1) {
+				minInc = 0
+			}
+			if cost+minInc >= s.bestCost {
+				continue
+			}
+		}
+
+		s.dfs(depth+1, cost)
+		if s.aborted {
+			break
+		}
+
+		// H2: every result this tuple feeds is satisfied — more of this
+		// tuple is waste.
+		if s.UseH2 {
+			allSat := true
+			for _, ri := range s.e.resultsOf[bi] {
+				if !s.e.satisfied[ri] {
+					allSat = false
+					break
+				}
+			}
+			if allSat {
+				break
+			}
+		}
+		if v >= maxP {
+			break
+		}
+	}
+	s.e.setP(bi, orig)
+	if s.UseH3 {
+		s.maxEval.setP(bi, maxP)
+	}
+}
+
+// costBetas computes the H1 ordering key for every base tuple: the
+// minimum cost of raising the tuple alone (others at their initial
+// confidence) until one of its results reaches β. When even the maximum
+// cannot get there, the paper adjusts the key to cost_max / (F_max/β)
+// where F_max is the best result confidence the tuple can reach.
+func costBetas(in *Instance) []float64 {
+	e := newEvaluator(in)
+	out := make([]float64, len(in.Base))
+	for bi, b := range in.Base {
+		out[bi] = costBetaOf(in, e, bi, b)
+	}
+	return out
+}
+
+func costBetaOf(in *Instance, e *evaluator, bi int, b BaseTuple) float64 {
+	orig := b.P
+	defer e.setP(bi, orig)
+	// Walk the grid upward until some associated result reaches β.
+	for v := orig; ; v += in.Delta {
+		if v > b.maxP() {
+			v = b.maxP()
+		}
+		e.setP(bi, v)
+		for _, ri := range e.resultsOf[bi] {
+			if e.resultProb[ri] >= in.Beta-1e-12 {
+				return b.Cost.Increment(orig, v)
+			}
+		}
+		if v >= b.maxP() {
+			break
+		}
+	}
+	// Unreachable alone: adjusted key cost_max / (F_max/β).
+	fMax := 0.0
+	for _, ri := range e.resultsOf[bi] {
+		if e.resultProb[ri] > fMax {
+			fMax = e.resultProb[ri]
+		}
+	}
+	costMax := b.Cost.Increment(orig, b.maxP())
+	if fMax <= 0 {
+		return costMax / 1e-9 // contributes nothing: sort it to the root
+	}
+	return costMax / (fMax / in.Beta)
+}

@@ -1,0 +1,370 @@
+// Package strategy implements the paper's strategy-finding component:
+// given intermediate query results whose confidence falls below a policy
+// threshold β, find the cheapest set of base-tuple confidence increments
+// (on a δ grid) that pushes at least a required number of results to β.
+// The problem is a nonlinear constrained optimization and is NP-hard; the
+// paper contributes three algorithms, all implemented here:
+//
+//   - Heuristic: depth-first branch and bound with four pruning
+//     heuristics (H1 ordering, H2 sibling pruning, H3 reachability
+//     pruning, H4 marginal-cost pruning), optionally seeded with the
+//     greedy solution as an initial upper bound.
+//   - Greedy: a two-phase algorithm — an aggressive gain-maximizing
+//     increase phase followed by a refinement phase that undoes
+//     unnecessary increments.
+//   - DivideAndConquer: partitions the result-sharing graph, solves each
+//     group (greedy, plus heuristic search for small groups), then
+//     combines and refines.
+//
+// A brute-force oracle for tiny instances supports testing.
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/lineage"
+)
+
+// BaseTuple is one improvable data item in the optimization instance.
+type BaseTuple struct {
+	// Var is the lineage variable the result formulas use for this
+	// tuple.
+	Var lineage.Var
+	// P is the current confidence.
+	P float64
+	// MaxP is the maximum attainable confidence (at most 1). The zero
+	// value means "no cap" and is treated as 1.
+	MaxP float64
+	// Cost prices increments of this tuple's confidence.
+	Cost cost.Function
+}
+
+// Result is one intermediate query result below the threshold.
+type Result struct {
+	// ID is an opaque caller identifier (e.g. row index).
+	ID int
+	// Formula is the result's lineage over the instance's base tuples.
+	Formula *lineage.Expr
+}
+
+// Instance is a confidence-increment problem.
+type Instance struct {
+	// Base lists the base tuples whose confidence may be raised.
+	Base []BaseTuple
+	// Results lists the intermediate results below the threshold.
+	Results []Result
+	// Beta is the confidence threshold results must reach (F ≥ β, as in
+	// the paper's constraint system).
+	Beta float64
+	// Need is the number of results that must reach Beta, i.e.
+	// ⌈(θ−θ′)·n⌉ in the paper.
+	Need int
+	// Delta is the confidence increment granularity (the paper uses
+	// 0.1).
+	Delta float64
+}
+
+// Validate checks structural soundness: positive δ, β in (0,1], formulas
+// monotone and referring only to known variables, Need within range.
+func (in *Instance) Validate() error {
+	if in.Delta <= 0 || in.Delta > 1 {
+		return fmt.Errorf("strategy: delta %g outside (0,1]", in.Delta)
+	}
+	if in.Beta <= 0 || in.Beta > 1 {
+		return fmt.Errorf("strategy: beta %g outside (0,1]", in.Beta)
+	}
+	if in.Need < 0 || in.Need > len(in.Results) {
+		return fmt.Errorf("strategy: need %d outside [0,%d]", in.Need, len(in.Results))
+	}
+	seen := map[lineage.Var]bool{}
+	for i, b := range in.Base {
+		if b.P < 0 || b.P > 1 {
+			return fmt.Errorf("strategy: base %d confidence %g outside [0,1]", i, b.P)
+		}
+		maxP := b.MaxP
+		if maxP == 0 {
+			maxP = 1
+		}
+		if maxP < b.P || maxP > 1 {
+			return fmt.Errorf("strategy: base %d max confidence %g invalid", i, b.MaxP)
+		}
+		if b.Cost == nil {
+			return fmt.Errorf("strategy: base %d has no cost function", i)
+		}
+		if seen[b.Var] {
+			return fmt.Errorf("strategy: duplicate base variable %d", int(b.Var))
+		}
+		seen[b.Var] = true
+	}
+	for i, r := range in.Results {
+		if r.Formula == nil {
+			return fmt.Errorf("strategy: result %d has no formula", i)
+		}
+		if !r.Formula.Monotone() {
+			return fmt.Errorf("strategy: result %d formula is not monotone; confidence increments cannot plan over negation", i)
+		}
+		for _, v := range r.Formula.Vars() {
+			if !seen[v] {
+				return fmt.Errorf("strategy: result %d references unknown variable %d", i, int(v))
+			}
+		}
+	}
+	return nil
+}
+
+// maxP returns the tuple's effective maximum confidence.
+func (b BaseTuple) maxP() float64 {
+	if b.MaxP == 0 {
+		return 1
+	}
+	return b.MaxP
+}
+
+// Plan is a solver's output: the target confidence per base tuple.
+type Plan struct {
+	// NewP maps base-tuple index (into Instance.Base) to the planned
+	// confidence. Every tuple appears; unchanged tuples keep their
+	// original P.
+	NewP []float64
+	// Cost is the total increment cost of the plan.
+	Cost float64
+	// Satisfied lists the indices (into Instance.Results) of results at
+	// or above Beta under the plan.
+	Satisfied []int
+	// Nodes counts search nodes (heuristic) or gain evaluations
+	// (greedy/D&C); useful for benchmarking pruning effectiveness.
+	Nodes int
+}
+
+// Solver finds a confidence-increment plan for an instance.
+type Solver interface {
+	// Name identifies the algorithm (for benches and reports).
+	Name() string
+	// Solve computes a plan. It returns ErrInfeasible when even raising
+	// every tuple to its maximum cannot satisfy the instance.
+	Solve(in *Instance) (*Plan, error)
+}
+
+// ErrInfeasible reports that no assignment of confidences within the
+// tuples' maxima satisfies the required number of results.
+var ErrInfeasible = fmt.Errorf("strategy: instance is infeasible")
+
+// evaluator tracks current confidences and per-result probabilities with
+// incremental recomputation when one tuple changes.
+type evaluator struct {
+	in         *Instance
+	p          []float64 // current confidence per base tuple
+	resultProb []float64
+	satisfied  []bool
+	nSat       int
+	resultsOf  [][]int // base index -> result indices mentioning it
+	varIdx     map[lineage.Var]int
+	// derivs caches per-result ∂F/∂p(v); entries invalidate whenever the
+	// result is recomputed.
+	derivs []map[lineage.Var]float64
+	// readOnce caches whether each result formula is read-once, enabling
+	// the linear-time probability path without re-deriving it per call.
+	readOnce []bool
+}
+
+func newEvaluator(in *Instance) *evaluator {
+	e := &evaluator{
+		in:         in,
+		p:          make([]float64, len(in.Base)),
+		resultProb: make([]float64, len(in.Results)),
+		satisfied:  make([]bool, len(in.Results)),
+		resultsOf:  make([][]int, len(in.Base)),
+		varIdx:     make(map[lineage.Var]int, len(in.Base)),
+		derivs:     make([]map[lineage.Var]float64, len(in.Results)),
+		readOnce:   make([]bool, len(in.Results)),
+	}
+	for i, b := range in.Base {
+		e.p[i] = b.P
+		e.varIdx[b.Var] = i
+	}
+	for ri, r := range in.Results {
+		e.readOnce[ri] = r.Formula.ReadOnce()
+		for _, v := range r.Formula.Vars() {
+			bi := e.varIdx[v]
+			e.resultsOf[bi] = append(e.resultsOf[bi], ri)
+		}
+	}
+	for ri := range in.Results {
+		e.recompute(ri)
+	}
+	return e
+}
+
+// assignment adapts current confidences to lineage.Assignment.
+func (e *evaluator) assignment() lineage.Assignment {
+	return lineage.FuncAssignment(func(v lineage.Var) float64 {
+		return e.p[e.varIdx[v]]
+	})
+}
+
+func (e *evaluator) recompute(ri int) {
+	var prob float64
+	if e.readOnce[ri] {
+		// Exact for read-once formulas and allocation-free.
+		prob = lineage.ProbIndependent(e.in.Results[ri].Formula, e.assignment())
+	} else {
+		prob = lineage.Prob(e.in.Results[ri].Formula, e.assignment())
+	}
+	e.resultProb[ri] = prob
+	e.derivs[ri] = nil
+	sat := prob >= e.in.Beta-1e-12
+	if sat != e.satisfied[ri] {
+		e.satisfied[ri] = sat
+		if sat {
+			e.nSat++
+		} else {
+			e.nSat--
+		}
+	}
+}
+
+// setP updates base tuple bi's confidence and refreshes affected results.
+func (e *evaluator) setP(bi int, p float64) {
+	if e.p[bi] == p {
+		return
+	}
+	e.p[bi] = p
+	for _, ri := range e.resultsOf[bi] {
+		e.recompute(ri)
+	}
+}
+
+// totalCost prices the current confidences against the initial ones.
+func (e *evaluator) totalCost() float64 {
+	total := 0.0
+	for i, b := range e.in.Base {
+		total += b.Cost.Increment(b.P, e.p[i])
+	}
+	return total
+}
+
+// deltaF returns the summed confidence increase of the unsatisfied
+// results mentioning tuple bi if its confidence moved from the current
+// value to newP. Probability is multilinear in each variable, so
+// ΔF = (newP − p)·(F|v=1 − F|v=0) exactly.
+func (e *evaluator) deltaF(bi int, newP float64) float64 {
+	cur := e.p[bi]
+	if newP == cur {
+		return 0
+	}
+	v := e.in.Base[bi].Var
+	total := 0.0
+	for _, ri := range e.resultsOf[bi] {
+		if e.satisfied[ri] {
+			continue
+		}
+		if e.derivs[ri] == nil {
+			e.derivs[ri] = lineage.Derivatives(e.in.Results[ri].Formula, e.assignment())
+		}
+		total += (newP - cur) * e.derivs[ri][v]
+	}
+	return total
+}
+
+// feasible reports whether raising every tuple to its maximum satisfies
+// the instance.
+func feasible(in *Instance) bool {
+	e := newEvaluator(in)
+	for i, b := range in.Base {
+		e.setP(i, b.maxP())
+	}
+	return e.nSat >= in.Need
+}
+
+// plan snapshots the evaluator's state into a Plan.
+func (e *evaluator) plan(nodes int) *Plan {
+	p := &Plan{
+		NewP:  append([]float64{}, e.p...),
+		Cost:  e.totalCost(),
+		Nodes: nodes,
+	}
+	for ri, sat := range e.satisfied {
+		if sat {
+			p.Satisfied = append(p.Satisfied, ri)
+		}
+	}
+	return p
+}
+
+// Verify checks a plan against the instance: confidences within bounds,
+// cost consistent, and the required number of results satisfied. It is
+// used by tests and by the engine before applying improvements.
+func (in *Instance) Verify(p *Plan) error {
+	if len(p.NewP) != len(in.Base) {
+		return fmt.Errorf("strategy: plan covers %d tuples, instance has %d", len(p.NewP), len(in.Base))
+	}
+	total := 0.0
+	for i, b := range in.Base {
+		np := p.NewP[i]
+		if np < b.P-1e-12 {
+			return fmt.Errorf("strategy: plan lowers tuple %d below its current confidence", i)
+		}
+		if np > b.maxP()+1e-12 {
+			return fmt.Errorf("strategy: plan raises tuple %d above its maximum", i)
+		}
+		total += b.Cost.Increment(b.P, np)
+	}
+	if math.Abs(total-p.Cost) > 1e-6*(1+math.Abs(total)) {
+		return fmt.Errorf("strategy: plan cost %g inconsistent with recomputed %g", p.Cost, total)
+	}
+	assign := lineage.FuncAssignment(func(v lineage.Var) float64 {
+		for i, b := range in.Base {
+			if b.Var == v {
+				return p.NewP[i]
+			}
+		}
+		return 0
+	})
+	sat := 0
+	for _, r := range in.Results {
+		if lineage.Prob(r.Formula, assign) >= in.Beta-1e-9 {
+			sat++
+		}
+	}
+	if sat < in.Need {
+		return fmt.Errorf("strategy: plan satisfies %d results, need %d", sat, in.Need)
+	}
+	return nil
+}
+
+// stepUp returns the next confidence one δ above cur on the grid
+// anchored at b.P, clamping the final partial step to maxP. It returns
+// cur when the tuple is exhausted.
+func stepUp(b BaseTuple, delta, cur float64) float64 {
+	next := cur + delta
+	if next > b.maxP() {
+		next = b.maxP()
+	}
+	if next <= cur+1e-12 {
+		return cur
+	}
+	return next
+}
+
+// stepDown returns the largest grid value (anchored at b.P) strictly
+// below cur, never below b.P. When cur sits off-grid (clamped at maxP),
+// the step realigns to the grid.
+func stepDown(b BaseTuple, delta, cur float64) float64 {
+	if cur <= b.P+1e-12 {
+		return b.P
+	}
+	steps := math.Ceil((cur-b.P)/delta-1e-9) - 1
+	next := b.P + steps*delta
+	if next < b.P {
+		next = b.P
+	}
+	if next >= cur-1e-12 {
+		next = cur - delta
+		if next < b.P {
+			next = b.P
+		}
+	}
+	return next
+}

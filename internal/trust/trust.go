@@ -1,0 +1,294 @@
+// Package trust implements the confidence-assignment component of the
+// PCQE framework (element 1 in the paper), following the approach the
+// paper cites: Dai et al., "An Approach to Evaluate Data Trustworthiness
+// Based on Data Provenance" (SDM 2008). Base-tuple confidence is derived
+// from (a) the trustworthiness of the providers in the tuple's
+// provenance, (b) corroboration by similar items reported about the same
+// real-world entity, and (c) penalties from conflicting items. Item
+// confidence and provider trustworthiness are mutually recursive, so the
+// model iterates to a fixpoint.
+//
+// The original paper evaluates on proprietary data-sharing scenarios; we
+// reproduce the computation and drive it with synthetic provenance (see
+// the workload package and the examples), which exercises the same code
+// path — the substitution DESIGN.md documents.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Provider is a data source with a prior trustworthiness in [0,1].
+type Provider struct {
+	ID    string
+	Prior float64
+}
+
+// Item is one reported fact: a numeric Value claimed about an Entity
+// (e.g. "ZStart's income is 120000"), delivered through one or more
+// providers (the provenance sources) and optionally passed through a
+// chain of intermediate agents before reaching the database.
+type Item struct {
+	ID        string
+	Entity    string
+	Value     float64
+	Providers []string
+	// Agents is the ordered provenance path of intermediaries (ETL
+	// jobs, brokers, transcription services) the item passed through.
+	// Each agent must be registered as a provider; its trustworthiness
+	// dampens the item's source trust multiplicatively — a perfect
+	// source relayed through an unreliable curator is still doubtful.
+	Agents []string
+}
+
+// Config tunes the fixpoint computation.
+type Config struct {
+	// SimilarityScale is the value distance at which two claims about
+	// the same entity stop corroborating each other. Must be > 0.
+	SimilarityScale float64
+	// SupportWeight scales the corroboration bonus (α in the model).
+	SupportWeight float64
+	// ConflictWeight scales the contradiction penalty (β in the model).
+	ConflictWeight float64
+	// Damping blends prior provider trust with observed item confidence
+	// on each provider update; 0 freezes providers at their priors.
+	Damping float64
+	// MaxIterations bounds the fixpoint loop.
+	MaxIterations int
+	// Epsilon is the convergence threshold on the maximum change of any
+	// confidence or trust value between iterations.
+	Epsilon float64
+}
+
+// DefaultConfig returns the configuration used throughout the examples
+// and benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		SimilarityScale: 1.0,
+		SupportWeight:   0.3,
+		ConflictWeight:  0.5,
+		Damping:         0.5,
+		MaxIterations:   100,
+		Epsilon:         1e-6,
+	}
+}
+
+// Model holds providers and items and computes confidences.
+type Model struct {
+	cfg       Config
+	providers map[string]*Provider
+	items     []*Item
+	itemIndex map[string]int
+}
+
+// NewModel creates an empty model with the given configuration.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.SimilarityScale <= 0 {
+		return nil, fmt.Errorf("trust: SimilarityScale must be positive")
+	}
+	if cfg.MaxIterations <= 0 {
+		return nil, fmt.Errorf("trust: MaxIterations must be positive")
+	}
+	if cfg.Damping < 0 || cfg.Damping > 1 {
+		return nil, fmt.Errorf("trust: Damping must be in [0,1]")
+	}
+	return &Model{
+		cfg:       cfg,
+		providers: map[string]*Provider{},
+		itemIndex: map[string]int{},
+	}, nil
+}
+
+// AddProvider registers a provider with a prior trustworthiness.
+func (m *Model) AddProvider(id string, prior float64) error {
+	if prior < 0 || prior > 1 {
+		return fmt.Errorf("trust: prior %g outside [0,1]", prior)
+	}
+	if _, dup := m.providers[id]; dup {
+		return fmt.Errorf("trust: provider %q already registered", id)
+	}
+	m.providers[id] = &Provider{ID: id, Prior: prior}
+	return nil
+}
+
+// AddItem registers an item. All of its providers and agents must exist
+// as registered providers.
+func (m *Model) AddItem(it Item) error {
+	if _, dup := m.itemIndex[it.ID]; dup {
+		return fmt.Errorf("trust: item %q already registered", it.ID)
+	}
+	if len(it.Providers) == 0 {
+		return fmt.Errorf("trust: item %q has no providers", it.ID)
+	}
+	for _, p := range it.Providers {
+		if _, ok := m.providers[p]; !ok {
+			return fmt.Errorf("trust: item %q references unknown provider %q", it.ID, p)
+		}
+	}
+	for _, a := range it.Agents {
+		if _, ok := m.providers[a]; !ok {
+			return fmt.Errorf("trust: item %q references unknown agent %q", it.ID, a)
+		}
+	}
+	cp := it
+	cp.Providers = append([]string{}, it.Providers...)
+	cp.Agents = append([]string{}, it.Agents...)
+	m.itemIndex[it.ID] = len(m.items)
+	m.items = append(m.items, &cp)
+	return nil
+}
+
+// Result is the fixpoint output.
+type Result struct {
+	// Confidence maps item ID to computed confidence in [0,1].
+	Confidence map[string]float64
+	// ProviderTrust maps provider ID to its converged trustworthiness.
+	ProviderTrust map[string]float64
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+	// Converged reports whether Epsilon was reached before
+	// MaxIterations.
+	Converged bool
+}
+
+// Run executes the fixpoint computation.
+func (m *Model) Run() Result {
+	conf := make([]float64, len(m.items))
+	trust := map[string]float64{}
+	for id, p := range m.providers {
+		trust[id] = p.Prior
+	}
+	// Initialize item confidence from provenance only.
+	for i, it := range m.items {
+		conf[i] = m.sourceTrust(it, trust)
+	}
+	byEntity := map[string][]int{}
+	for i, it := range m.items {
+		byEntity[it.Entity] = append(byEntity[it.Entity], i)
+	}
+	itemsOf := map[string][]int{}
+	for i, it := range m.items {
+		for _, p := range it.Providers {
+			itemsOf[p] = append(itemsOf[p], i)
+		}
+		// Agents are accountable for what they relay: the items they
+		// handled feed their trust update too.
+		for _, a := range it.Agents {
+			itemsOf[a] = append(itemsOf[a], i)
+		}
+	}
+
+	res := Result{}
+	for iter := 0; iter < m.cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		maxDelta := 0.0
+		// Item confidences from provider trust + corroboration.
+		for i, it := range m.items {
+			base := m.sourceTrust(it, trust)
+			support, conflict := 0.0, 0.0
+			peers := byEntity[it.Entity]
+			for _, j := range peers {
+				if j == i {
+					continue
+				}
+				sim := m.similarity(it.Value, m.items[j].Value)
+				if sim >= 0.5 {
+					support += (sim - 0.5) * 2 * conf[j]
+				} else {
+					conflict += (0.5 - sim) * 2 * conf[j]
+				}
+			}
+			if n := float64(len(peers) - 1); n > 0 {
+				support /= n
+				conflict /= n
+			}
+			next := clamp01(base * (1 + m.cfg.SupportWeight*support - m.cfg.ConflictWeight*conflict))
+			if d := math.Abs(next - conf[i]); d > maxDelta {
+				maxDelta = d
+			}
+			conf[i] = next
+		}
+		// Provider trust from the confidence of what they deliver.
+		for id, p := range m.providers {
+			its := itemsOf[id]
+			if len(its) == 0 {
+				continue
+			}
+			avg := 0.0
+			for _, i := range its {
+				avg += conf[i]
+			}
+			avg /= float64(len(its))
+			next := clamp01((1-m.cfg.Damping)*p.Prior + m.cfg.Damping*avg)
+			if d := math.Abs(next - trust[id]); d > maxDelta {
+				maxDelta = d
+			}
+			trust[id] = next
+		}
+		if maxDelta < m.cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Confidence = make(map[string]float64, len(m.items))
+	for i, it := range m.items {
+		res.Confidence[it.ID] = conf[i]
+	}
+	res.ProviderTrust = trust
+	return res
+}
+
+// sourceTrust combines the trust of an item's providers — the item is
+// credible if at least one source is (noisy-OR over source trust) — and
+// dampens the result by the provenance path: every intermediate agent
+// must have handled the item faithfully, so the path contributes the
+// product of agent trust values.
+func (m *Model) sourceTrust(it *Item, trust map[string]float64) float64 {
+	q := 1.0
+	for _, p := range it.Providers {
+		q *= 1 - trust[p]
+	}
+	t := 1 - q
+	for _, a := range it.Agents {
+		t *= trust[a]
+	}
+	return t
+}
+
+// similarity maps the distance between two claimed values into [0,1];
+// 1 means identical claims, 0 means maximally conflicting.
+func (m *Model) similarity(a, b float64) float64 {
+	return math.Exp(-math.Abs(a-b) / m.cfg.SimilarityScale)
+}
+
+// Providers returns the registered provider IDs, sorted.
+func (m *Model) Providers() []string {
+	out := make([]string, 0, len(m.providers))
+	for id := range m.providers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Items returns the registered items in insertion order.
+func (m *Model) Items() []Item {
+	out := make([]Item, len(m.items))
+	for i, it := range m.items {
+		out[i] = *it
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,311 @@
+package trust
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SimilarityScale: 0, MaxIterations: 1},
+		{SimilarityScale: 1, MaxIterations: 0},
+		{SimilarityScale: 1, MaxIterations: 1, Damping: 1.5},
+		{SimilarityScale: 1, MaxIterations: 1, Damping: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewModel(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddProvider("a", 0.5); err == nil {
+		t.Error("duplicate provider should fail")
+	}
+	if err := m.AddProvider("b", 1.5); err == nil {
+		t.Error("prior out of range should fail")
+	}
+	if err := m.AddItem(Item{ID: "i1", Entity: "e", Value: 1, Providers: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "i1", Entity: "e", Value: 1, Providers: []string{"a"}}); err == nil {
+		t.Error("duplicate item should fail")
+	}
+	if err := m.AddItem(Item{ID: "i2", Entity: "e", Value: 1}); err == nil {
+		t.Error("item without providers should fail")
+	}
+	if err := m.AddItem(Item{ID: "i3", Entity: "e", Value: 1, Providers: []string{"ghost"}}); err == nil {
+		t.Error("unknown provider should fail")
+	}
+	if got := m.Providers(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Providers = %v", got)
+	}
+	if got := m.Items(); len(got) != 1 || got[0].ID != "i1" {
+		t.Errorf("Items = %v", got)
+	}
+}
+
+func TestSingleItemConfidenceEqualsSourceTrustFixpoint(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("a", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "i", Entity: "e", Value: 1, Providers: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !res.Converged {
+		t.Fatal("single item should converge")
+	}
+	// With one item from one provider: conf = trust(a), and trust(a)
+	// settles at the fixpoint of t = 0.5·0.8 + 0.5·t, i.e. 0.8.
+	if c := res.Confidence["i"]; c < 0.79 || c > 0.81 {
+		t.Errorf("confidence = %v, want ≈0.8", c)
+	}
+	if tr := res.ProviderTrust["a"]; tr < 0.79 || tr > 0.81 {
+		t.Errorf("trust = %v, want ≈0.8", tr)
+	}
+}
+
+func TestCorroborationRaisesAndConflictLowers(t *testing.T) {
+	m := newModel(t)
+	for _, p := range []string{"p1", "p2", "p3", "p4"} {
+		if err := m.AddProvider(p, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entity "agree": three providers report the same value.
+	for i, p := range []string{"p1", "p2", "p3"} {
+		if err := m.AddItem(Item{ID: "agree" + p, Entity: "agree", Value: 10 + float64(i)*0.01, Providers: []string{p}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entity "fight": two providers report wildly different values.
+	if err := m.AddItem(Item{ID: "f1", Entity: "fight", Value: 0, Providers: []string{"p4"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "f2", Entity: "fight", Value: 100, Providers: []string{"p4"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Entity "solo": a single uncorroborated claim.
+	if err := m.AddItem(Item{ID: "solo", Entity: "solo", Value: 5, Providers: []string{"p4"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	agree := res.Confidence["agreep1"]
+	fight := res.Confidence["f1"]
+	solo := res.Confidence["solo"]
+	if !(agree > solo) {
+		t.Errorf("corroborated claim (%v) should beat uncorroborated (%v)", agree, solo)
+	}
+	if !(fight < solo) {
+		t.Errorf("contradicted claim (%v) should trail uncorroborated (%v)", fight, solo)
+	}
+}
+
+func TestMultiProviderNoisyOr(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("a", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddProvider("b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "multi", Entity: "e", Value: 1, Providers: []string{"a", "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "single", Entity: "e2", Value: 1, Providers: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !(res.Confidence["multi"] > res.Confidence["single"]) {
+		t.Errorf("two sources (%v) should beat one (%v)",
+			res.Confidence["multi"], res.Confidence["single"])
+	}
+}
+
+func TestZeroTrustProvidersYieldZeroConfidence(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("junk", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "i", Entity: "e", Value: 1, Providers: []string{"junk"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Confidence["i"] != 0 {
+		t.Errorf("confidence = %v, want 0", res.Confidence["i"])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	build := func() *Model {
+		m := newModel(t)
+		_ = m.AddProvider("a", 0.7)
+		_ = m.AddProvider("b", 0.4)
+		_ = m.AddItem(Item{ID: "x", Entity: "e", Value: 1, Providers: []string{"a"}})
+		_ = m.AddItem(Item{ID: "y", Entity: "e", Value: 1.1, Providers: []string{"b"}})
+		return m
+	}
+	r1 := build().Run()
+	r2 := build().Run()
+	for id, c := range r1.Confidence {
+		if r2.Confidence[id] != c {
+			t.Errorf("nondeterministic confidence for %s: %v vs %v", id, c, r2.Confidence[id])
+		}
+	}
+}
+
+func TestPropertyConfidencesInUnitInterval(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		m, err := NewModel(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		nProv := 1 + rr.Intn(5)
+		for i := 0; i < nProv; i++ {
+			if err := m.AddProvider(string(rune('a'+i)), rr.Float64()); err != nil {
+				return false
+			}
+		}
+		nItems := 1 + rr.Intn(10)
+		for i := 0; i < nItems; i++ {
+			prov := string(rune('a' + rr.Intn(nProv)))
+			it := Item{
+				ID:        "i" + string(rune('0'+i)),
+				Entity:    string(rune('E' + rr.Intn(3))),
+				Value:     rr.Float64() * 10,
+				Providers: []string{prov},
+			}
+			if err := m.AddItem(it); err != nil {
+				return false
+			}
+		}
+		res := m.Run()
+		for _, c := range res.Confidence {
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		for _, tr := range res.ProviderTrust {
+			if tr < 0 || tr > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentsDampenSourceTrust(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("src", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddProvider("curator", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "direct", Entity: "a", Value: 1, Providers: []string{"src"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "relayed", Entity: "b", Value: 1,
+		Providers: []string{"src"}, Agents: []string{"curator"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !(res.Confidence["relayed"] < res.Confidence["direct"]) {
+		t.Fatalf("relayed (%v) should trail direct (%v)",
+			res.Confidence["relayed"], res.Confidence["direct"])
+	}
+}
+
+func TestLongerPathsLowerConfidence(t *testing.T) {
+	m := newModel(t)
+	for _, p := range []string{"src", "a1", "a2"} {
+		if err := m.AddProvider(p, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddItem(Item{ID: "one-hop", Entity: "x", Value: 1,
+		Providers: []string{"src"}, Agents: []string{"a1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddItem(Item{ID: "two-hop", Entity: "y", Value: 1,
+		Providers: []string{"src"}, Agents: []string{"a1", "a2"}}); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !(res.Confidence["two-hop"] < res.Confidence["one-hop"]) {
+		t.Fatalf("two-hop (%v) should trail one-hop (%v)",
+			res.Confidence["two-hop"], res.Confidence["one-hop"])
+	}
+}
+
+func TestUnknownAgentRejected(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("src", 0.8); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AddItem(Item{ID: "i", Entity: "e", Value: 1,
+		Providers: []string{"src"}, Agents: []string{"ghost"}})
+	if err == nil {
+		t.Fatal("unknown agent should be rejected")
+	}
+}
+
+func TestAgentTrustReflectsWhatItRelays(t *testing.T) {
+	m := newModel(t)
+	if err := m.AddProvider("good", 0.95); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"relayA", "relayB"} {
+		if err := m.AddProvider(p, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// relayA carries mutually corroborating claims; relayB carries
+	// claims that contradict each other about the same entity.
+	for i := 0; i < 3; i++ {
+		if err := m.AddItem(Item{
+			ID: "good" + string(rune('a'+i)), Entity: "agree", Value: 5,
+			Providers: []string{"good"}, Agents: []string{"relayA"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddItem(Item{
+			ID: "bad" + string(rune('a'+i)), Entity: "clash", Value: float64(i) * 50,
+			Providers: []string{"good"}, Agents: []string{"relayB"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.Run()
+	if !(res.ProviderTrust["relayA"] > res.ProviderTrust["relayB"]) {
+		t.Fatalf("corroborating relay (%v) should out-trust contradicting relay (%v)",
+			res.ProviderTrust["relayA"], res.ProviderTrust["relayB"])
+	}
+	// And the items themselves order the same way.
+	if !(res.Confidence["gooda"] > res.Confidence["bada"]) {
+		t.Fatalf("corroborated item (%v) should beat contradicted item (%v)",
+			res.Confidence["gooda"], res.Confidence["bada"])
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/relation"
+)
+
+// DBParams sizes a synthetic end-to-end database: a star-ish schema of
+// Suppliers and Orders whose join produces intermediate results with
+// AND/OR lineage, used to measure the full PCQE pipeline (SQL planning,
+// lineage propagation, policy filtering, improvement planning) rather
+// than the bare optimizer.
+type DBParams struct {
+	// Suppliers is the dimension-table size.
+	Suppliers int
+	// OrdersPerSupplier is the fact fan-out.
+	OrdersPerSupplier int
+	// Regions controls grouping selectivity.
+	Regions int
+	// ConfLo/ConfHi bound row confidences (defaults 0.05/0.15 as in the
+	// optimizer workload when both are 0).
+	ConfLo, ConfHi float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultDBParams returns a small end-to-end database configuration.
+func DefaultDBParams() DBParams {
+	return DBParams{Suppliers: 100, OrdersPerSupplier: 10, Regions: 5, Seed: 1}
+}
+
+// Validate checks the parameters.
+func (p DBParams) Validate() error {
+	if p.Suppliers <= 0 || p.OrdersPerSupplier <= 0 || p.Regions <= 0 {
+		return fmt.Errorf("workload: DB sizes must be positive")
+	}
+	lo, hi := p.dbConfRange()
+	if lo < 0 || hi > 1 || lo > hi {
+		return fmt.Errorf("workload: confidence range [%g,%g] invalid", lo, hi)
+	}
+	return nil
+}
+
+func (p DBParams) dbConfRange() (float64, float64) {
+	if p.ConfLo == 0 && p.ConfHi == 0 {
+		return 0.05, 0.15
+	}
+	return p.ConfLo, p.ConfHi
+}
+
+// GenerateDB populates a fresh catalog with Suppliers(Name, Region,
+// Rating) and Orders(Supplier, Amount, OnTime) whose rows carry random
+// confidences and paper-family cost functions. It returns the catalog
+// and a set of representative queries exercising select/project/join/
+// aggregate paths.
+func GenerateDB(p DBParams) (*relation.Catalog, []string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	lo, hi := p.dbConfRange()
+	conf := func() float64 { return lo + (hi-lo)*r.Float64() }
+
+	cat := relation.NewCatalog()
+	suppliers, err := cat.CreateTable("Suppliers", relation.NewSchema(
+		relation.Column{Name: "Name", Type: relation.TypeString},
+		relation.Column{Name: "Region", Type: relation.TypeString},
+		relation.Column{Name: "Rating", Type: relation.TypeFloat},
+	))
+	if err != nil {
+		return nil, nil, err
+	}
+	orders, err := cat.CreateTable("Orders", relation.NewSchema(
+		relation.Column{Name: "Supplier", Type: relation.TypeString},
+		relation.Column{Name: "Amount", Type: relation.TypeFloat},
+		relation.Column{Name: "OnTime", Type: relation.TypeBool},
+	))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for s := 0; s < p.Suppliers; s++ {
+		name := fmt.Sprintf("s%04d", s)
+		region := fmt.Sprintf("r%02d", r.Intn(p.Regions))
+		if _, err := suppliers.Insert([]relation.Value{
+			relation.String_(name),
+			relation.String_(region),
+			relation.Float(1 + 4*r.Float64()),
+		}, conf(), cost.RandomPaper(r, 10)); err != nil {
+			return nil, nil, err
+		}
+		for o := 0; o < p.OrdersPerSupplier; o++ {
+			if _, err := orders.Insert([]relation.Value{
+				relation.String_(name),
+				relation.Float(100 * r.Float64()),
+				relation.Bool(r.Float64() < 0.8),
+			}, conf(), cost.RandomPaper(r, 10)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	queries := []string{
+		// Select-project.
+		`SELECT Name, Rating FROM Suppliers WHERE Rating > 3`,
+		// Duplicate-eliminating projection (OR lineage).
+		`SELECT DISTINCT Region FROM Suppliers WHERE Rating > 2`,
+		// Join (AND lineage) with selection.
+		`SELECT DISTINCT Suppliers.Name
+		 FROM Suppliers JOIN Orders ON Suppliers.Name = Orders.Supplier
+		 WHERE Amount > 50 AND Rating > 2.5`,
+		// Aggregate over a join.
+		`SELECT Region, COUNT(*) AS n
+		 FROM Suppliers JOIN Orders ON Suppliers.Name = Orders.Supplier
+		 GROUP BY Region`,
+	}
+	return cat, queries, nil
+}

@@ -1,0 +1,214 @@
+// Package workload generates the synthetic datasets of the paper's
+// evaluation (Section 5.1): a pool of base tuples with confidence values
+// around 0.1 and randomly drawn cost functions (binomial/quadratic,
+// exponential, logarithm families), and a set of intermediate query
+// results, each a randomly generated AND/OR DAG over a sample of the
+// base tuples. Table 4 lists the parameters; DefaultParams mirrors its
+// bold defaults.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/lineage"
+	"pcqe/internal/strategy"
+)
+
+// Params mirrors Table 4 of the paper.
+type Params struct {
+	// DataSize is the total number of distinct base tuples associated
+	// with the results of a single query ("Data size": 10, 1K, ...,
+	// 100K).
+	DataSize int
+	// TuplesPerResult is the average number of base tuples per result
+	// ("No. of base tuples per result": 5, 10, 25, 50, 100).
+	TuplesPerResult int
+	// Delta is the confidence increment step δ (0.1).
+	Delta float64
+	// Theta is the fraction of results the user requires (50%).
+	Theta float64
+	// Beta is the confidence threshold β (0.6).
+	Beta float64
+	// Results overrides the number of intermediate results; 0 derives
+	// it as max(1, DataSize/TuplesPerResult) so every base tuple is
+	// referenced once on average.
+	Results int
+	// ConfLo and ConfHi bound the initial confidences; both zero means
+	// the paper's "around 0.1" (U[0.05, 0.15]). Raising them shrinks
+	// the per-tuple search domain, which the heuristic benchmarks use
+	// to keep exhaustive baselines tractable.
+	ConfLo, ConfHi float64
+	// Seed drives all randomness; equal seeds give equal workloads.
+	Seed int64
+}
+
+// DefaultParams returns Table 4's bold defaults: 10K base tuples, 5 per
+// result, δ=0.1, θ=50%, β=0.6.
+func DefaultParams() Params {
+	return Params{
+		DataSize:        10_000,
+		TuplesPerResult: 5,
+		Delta:           0.1,
+		Theta:           0.5,
+		Beta:            0.6,
+		Seed:            1,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.DataSize <= 0 {
+		return fmt.Errorf("workload: DataSize must be positive")
+	}
+	if p.TuplesPerResult <= 0 {
+		return fmt.Errorf("workload: TuplesPerResult must be positive")
+	}
+	if p.TuplesPerResult > p.DataSize {
+		return fmt.Errorf("workload: TuplesPerResult %d exceeds DataSize %d", p.TuplesPerResult, p.DataSize)
+	}
+	if p.Delta <= 0 || p.Delta > 1 {
+		return fmt.Errorf("workload: Delta %g outside (0,1]", p.Delta)
+	}
+	if p.Theta <= 0 || p.Theta > 1 {
+		return fmt.Errorf("workload: Theta %g outside (0,1]", p.Theta)
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("workload: Beta %g outside (0,1)", p.Beta)
+	}
+	if p.Results < 0 {
+		return fmt.Errorf("workload: Results must be non-negative")
+	}
+	lo, hi := p.confRange()
+	if lo < 0 || hi > 1 || lo > hi {
+		return fmt.Errorf("workload: confidence range [%g,%g] invalid", lo, hi)
+	}
+	return nil
+}
+
+// confRange returns the effective initial-confidence bounds.
+func (p Params) confRange() (lo, hi float64) {
+	if p.ConfLo == 0 && p.ConfHi == 0 {
+		return 0.05, 0.15
+	}
+	return p.ConfLo, p.ConfHi
+}
+
+// NumResults returns the effective number of intermediate results.
+func (p Params) NumResults() int {
+	if p.Results > 0 {
+		return p.Results
+	}
+	n := p.DataSize / p.TuplesPerResult
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds a strategy.Instance per the paper's recipe:
+//   - DataSize base tuples, confidence U[0.05, 0.15] ("around 0.1"),
+//     cost function drawn from the quadratic/exponential/logarithmic
+//     families with a base price of 10 per full raise;
+//   - NumResults() results, each over TuplesPerResult distinct tuples
+//     sampled without replacement, combined by a random alternating
+//     AND/OR tree with an OR root (so raising all confidences to 1
+//     always satisfies the result, keeping instances feasible);
+//   - Need = ⌈θ·n⌉ minus nothing: the paper's requirement is that θ·n
+//     results exceed β after improvement, and the generated confidences
+//     start far below β, so Need ≈ θ·n.
+func Generate(p Params) (*strategy.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	n := p.NumResults()
+
+	in := &strategy.Instance{
+		Beta:  p.Beta,
+		Delta: p.Delta,
+		Base:  make([]strategy.BaseTuple, p.DataSize),
+	}
+	lo, hi := p.confRange()
+	for i := range in.Base {
+		in.Base[i] = strategy.BaseTuple{
+			Var:  lineage.Var(i + 1),
+			P:    lo + (hi-lo)*r.Float64(),
+			Cost: cost.RandomPaper(r, 10),
+		}
+	}
+
+	in.Results = make([]strategy.Result, n)
+	for ri := range in.Results {
+		vars := sampleVars(r, p.DataSize, p.TuplesPerResult)
+		in.Results[ri] = strategy.Result{
+			ID:      ri,
+			Formula: randomDAG(r, vars),
+		}
+	}
+
+	need := int(p.Theta*float64(n) + 0.999999)
+	if need > n {
+		need = n
+	}
+	if need < 1 {
+		need = 1
+	}
+	in.Need = need
+	return in, nil
+}
+
+// sampleVars draws k distinct variables from [1, size] (Floyd's
+// algorithm keeps it O(k) even for large pools).
+func sampleVars(r *rand.Rand, size, k int) []lineage.Var {
+	chosen := make(map[int]bool, k)
+	out := make([]lineage.Var, 0, k)
+	for j := size - k; j < size; j++ {
+		t := r.Intn(j + 1)
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		out = append(out, lineage.Var(t+1))
+	}
+	return out
+}
+
+// randomDAG builds a random alternating AND/OR tree over the variables
+// (the paper's "randomly generated DAGs"): leaves are shuffled, grouped
+// into fan-ins of 2–3, and combined level by level with alternating
+// operators starting at AND. Monotone formulas evaluate to 1 when every
+// input is 1, so every generated result is satisfiable and the instance
+// stays feasible.
+func randomDAG(r *rand.Rand, vars []lineage.Var) *lineage.Expr {
+	nodes := make([]*lineage.Expr, len(vars))
+	for i, v := range vars {
+		nodes[i] = lineage.NewVar(v)
+	}
+	r.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	useAnd := true
+	for len(nodes) > 1 {
+		var next []*lineage.Expr
+		for i := 0; i < len(nodes); {
+			fan := 2 + r.Intn(2) // fan-in 2..3
+			if i+fan > len(nodes) {
+				fan = len(nodes) - i
+			}
+			group := nodes[i : i+fan]
+			i += fan
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			if useAnd {
+				next = append(next, lineage.And(group...))
+			} else {
+				next = append(next, lineage.Or(group...))
+			}
+		}
+		nodes = next
+		useAnd = !useAnd
+	}
+	return nodes[0]
+}
