@@ -1,0 +1,30 @@
+# Development targets. `make check` is the pre-commit gate: vet, build,
+# the full test suite under the race detector, and a quick pass over the
+# differential tests that pin the compiled lineage kernels to the
+# tree-walk reference.
+GO ?= go
+
+.PHONY: check vet build test race differential bench
+
+check: vet build race differential
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The compiled-vs-treewalk differential tests (bit-identical plans and
+# derivative rows) in internal/lineage and internal/strategy.
+differential:
+	$(GO) test -run Differential -count=1 ./internal/lineage/ ./internal/strategy/
+
+# Greedy phase-1 gain evaluation: compiled kernels vs legacy tree walk.
+bench:
+	$(GO) test -run xxx -bench BenchmarkCompiledVsTreewalk -benchtime 3x .

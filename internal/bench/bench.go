@@ -408,6 +408,9 @@ func Run(name string, opt Options) ([]*Table, error) {
 		return []*Table{t}, err
 	case "ablations":
 		return Ablations(opt)
+	case "compiled":
+		t, err := AblationCompiled(opt)
+		return []*Table{t}, err
 	case "pipeline":
 		t, err := FrameworkOverhead(opt)
 		return []*Table{t}, err
@@ -447,7 +450,7 @@ func Run(name string, opt Options) ([]*Table, error) {
 
 // Names lists all experiment names Run accepts, sorted.
 func Names() []string {
-	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "pipeline", "all"}
+	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "compiled", "pipeline", "all"}
 	sort.Strings(names)
 	return names
 }

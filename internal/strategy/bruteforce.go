@@ -22,7 +22,7 @@ func (b *BruteForce) Solve(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if !feasible(in) {
+	if !feasible(in, false) {
 		return nil, ErrInfeasible
 	}
 	limit := b.MaxAssignments

@@ -1,0 +1,189 @@
+package strategy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/lineage"
+)
+
+// mediumInstance builds a Table-4-shaped workload without importing
+// internal/workload (which depends on this package): n base tuples with
+// confidence U[0.05,0.15] and mixed cost families, and n/per results,
+// each an OR-rooted tree over per distinct sampled tuples. With
+// withSharing, every third result duplicates one of its variables into
+// a second clause, forcing the Shannon path.
+func mediumInstance(seed int64, n, per int, withSharing bool) *Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := &Instance{Beta: 0.6, Delta: 0.1}
+	for i := 0; i < n; i++ {
+		fam := []cost.Function{
+			cost.Linear{Rate: 1 + 99*r.Float64()},
+			cost.Quadratic{A: 50 * r.Float64(), B: 1 + 50*r.Float64()},
+			cost.Logarithmic{Scale: 10 + 40*r.Float64(), Rate: 1 + 4*r.Float64()},
+		}[r.Intn(3)]
+		in.Base = append(in.Base, BaseTuple{
+			Var:  lineage.Var(i + 1),
+			P:    0.05 + 0.1*r.Float64(),
+			Cost: fam,
+		})
+	}
+	nResults := n / per
+	if nResults < 1 {
+		nResults = 1
+	}
+	for ri := 0; ri < nResults; ri++ {
+		perm := r.Perm(n)[:per]
+		leaves := make([]*lineage.Expr, per)
+		for i, p := range perm {
+			leaves[i] = lineage.NewVar(lineage.Var(p + 1))
+		}
+		half := per / 2
+		f := lineage.Or(lineage.And(leaves[:half]...), lineage.And(leaves[half:]...))
+		if withSharing && ri%3 == 0 {
+			// Re-use the first variable in an extra clause: one shared
+			// variable, still monotone.
+			f = lineage.Or(f, lineage.And(leaves[0], leaves[per-1]))
+		}
+		in.Results = append(in.Results, Result{ID: ri, Formula: f})
+	}
+	in.Need = (len(in.Results) + 1) / 2
+	return in
+}
+
+// requireSamePlan asserts bit-identical plans: same confidences, cost,
+// satisfied set, and node count.
+func requireSamePlan(t *testing.T, label string, a, b *Plan) {
+	t.Helper()
+	if len(a.NewP) != len(b.NewP) {
+		t.Fatalf("%s: plan lengths %d vs %d", label, len(a.NewP), len(b.NewP))
+	}
+	for i := range a.NewP {
+		if a.NewP[i] != b.NewP[i] {
+			t.Fatalf("%s: tuple %d confidence %v vs %v (plans must be bit-identical)",
+				label, i, a.NewP[i], b.NewP[i])
+		}
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("%s: cost %v vs %v", label, a.Cost, b.Cost)
+	}
+	if len(a.Satisfied) != len(b.Satisfied) {
+		t.Fatalf("%s: satisfied %v vs %v", label, a.Satisfied, b.Satisfied)
+	}
+	for i := range a.Satisfied {
+		if a.Satisfied[i] != b.Satisfied[i] {
+			t.Fatalf("%s: satisfied %v vs %v", label, a.Satisfied, b.Satisfied)
+		}
+	}
+	if a.Nodes != b.Nodes {
+		t.Fatalf("%s: nodes %d vs %d (evaluation paths diverged)", label, a.Nodes, b.Nodes)
+	}
+}
+
+// TestDifferentialCompiledPlansAllSolvers is the acceptance check for
+// the compiled evaluation path: every solver must produce a
+// bit-identical plan whether result formulas run through compiled
+// programs (default) or the legacy tree walk, on seeded workloads with
+// and without shared variables.
+func TestDifferentialCompiledPlansAllSolvers(t *testing.T) {
+	type pair struct {
+		name     string
+		compiled Solver
+		treeWalk Solver
+	}
+	small := func(seed int64) []*Instance {
+		r := rand.New(rand.NewSource(seed))
+		var out []*Instance
+		for i := 0; i < 10; i++ {
+			out = append(out, randomInstance(r))
+		}
+		return out
+	}
+	for _, tc := range []pair{
+		{"greedy", &Greedy{}, &Greedy{TreeWalk: true}},
+		{"greedy-incremental", &Greedy{Incremental: true}, &Greedy{Incremental: true, TreeWalk: true}},
+		{"heuristic", NewHeuristic(), &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, GreedyBound: true, TreeWalk: true}},
+		{"dnc", NewDivideAndConquer(), &DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, TreeWalk: true}},
+	} {
+		for _, in := range small(7) {
+			pc, errC := tc.compiled.Solve(in)
+			pt, errT := tc.treeWalk.Solve(in)
+			if (errC == nil) != (errT == nil) {
+				t.Fatalf("%s: error mismatch: compiled %v, tree-walk %v", tc.name, errC, errT)
+			}
+			if errC != nil {
+				continue
+			}
+			requireSamePlan(t, tc.name+"/small", pc, pt)
+		}
+	}
+	// Medium Table-4-shaped workloads (too slow for the exhaustive
+	// heuristic): greedy variants and D&C, with and without sharing.
+	for _, shared := range []bool{false, true} {
+		in := mediumInstance(11, 300, 5, shared)
+		for _, tc := range []pair{
+			{"greedy", &Greedy{}, &Greedy{TreeWalk: true}},
+			{"greedy-incremental", &Greedy{Incremental: true}, &Greedy{Incremental: true, TreeWalk: true}},
+			{"dnc", NewDivideAndConquer(), &DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, TreeWalk: true}},
+		} {
+			pc, errC := tc.compiled.Solve(in)
+			pt, errT := tc.treeWalk.Solve(in)
+			if errC != nil || errT != nil {
+				t.Fatalf("%s shared=%v: compiled err %v, tree-walk err %v", tc.name, shared, errC, errT)
+			}
+			requireSamePlan(t, tc.name, pc, pt)
+		}
+	}
+}
+
+// TestGreedyHeapMatchesRescanMedium: the lazy-heap incremental gain
+// selection must reproduce the full rescan's plan exactly (same
+// tie-breaking) on workload-shaped instances, where thousands of picks
+// exercise the staleness handling.
+func TestGreedyHeapMatchesRescanMedium(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		in := mediumInstance(seed, 200, 5, seed == 3)
+		rescan, err := (&Greedy{}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := (&Greedy{Incremental: true}).Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Node counts legitimately differ (that is the point of the
+		// incremental mode); everything else must match.
+		if rescan.Cost != incr.Cost {
+			t.Fatalf("seed %d: rescan cost %v, incremental %v", seed, rescan.Cost, incr.Cost)
+		}
+		for i := range rescan.NewP {
+			if rescan.NewP[i] != incr.NewP[i] {
+				t.Fatalf("seed %d: tuple %d rescan %v, incremental %v", seed, i, rescan.NewP[i], incr.NewP[i])
+			}
+		}
+		if incr.Nodes > rescan.Nodes {
+			t.Fatalf("seed %d: incremental evaluated more gains (%d) than rescan (%d)", seed, incr.Nodes, rescan.Nodes)
+		}
+	}
+}
+
+// TestVerifyCompiledPlans: plans from the compiled path must pass the
+// instance's independent verification (which itself uses the tree-walk
+// Prob), tying the two stacks together end to end.
+func TestVerifyCompiledPlans(t *testing.T) {
+	in := mediumInstance(5, 120, 4, true)
+	for _, s := range []Solver{&Greedy{}, &Greedy{Incremental: true}, NewDivideAndConquer()} {
+		plan, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := in.Verify(plan); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if math.IsNaN(plan.Cost) || plan.Cost < 0 {
+			t.Fatalf("%s: bad cost %v", s.Name(), plan.Cost)
+		}
+	}
+}

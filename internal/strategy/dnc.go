@@ -42,6 +42,10 @@ type DivideAndConquer struct {
 	// tuples shared across groups the combined plan may differ slightly
 	// from the sequential one (both satisfy the instance).
 	Parallel bool
+	// TreeWalk evaluates result formulas with the legacy tree walk
+	// instead of compiled lineage programs (differential testing and
+	// ablation only; plans are identical).
+	TreeWalk bool
 }
 
 // NewDivideAndConquer returns the configuration used in the benchmarks:
@@ -61,7 +65,8 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if !feasible(in) {
+	e := newEvaluatorMode(in, d.TreeWalk)
+	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
 	gamma := d.Gamma
@@ -70,8 +75,6 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 	}
 
 	groups := Partition(in, gamma, d.MaxGroupResults)
-
-	e := newEvaluator(in)
 	nodes := 0
 	totalNeed := in.Need - e.nSat
 	if totalNeed <= 0 {
@@ -124,9 +127,10 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 			need = totalNeed
 		}
 		sub.Need = free + need
-		if !feasible(sub) {
+		// One evaluator serves both the feasibility check and (when the
+		// target must be lowered) the satisfiable maximum.
+		if max := newEvaluatorMode(sub, d.TreeWalk).satAtMax(); max < sub.Need {
 			// Lower the group's target to what it can actually deliver.
-			max := maxSatisfiable(sub)
 			if max <= free {
 				continue
 			}
@@ -202,19 +206,22 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 // greedy-seeded heuristic search when the group is small (< τ tuples).
 // It returns (nil, nodes) when the group cannot be solved.
 func (d *DivideAndConquer) solveGroup(sub *Instance) (*Plan, int) {
-	plan, err := (&Greedy{}).Solve(sub)
+	// Incremental gain maintenance is the default for group solves: the
+	// plan is identical to the full rescan's (asserted by tests) and the
+	// dirty-propagation loop is strictly faster.
+	plan, err := (&Greedy{Incremental: true, TreeWalk: d.TreeWalk}).Solve(sub)
 	if err != nil {
 		return nil, 0
 	}
 	nodes := plan.Nodes
 	if d.Tau > 0 && len(sub.Base) < d.Tau {
-		h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true}
-		hs := &heuristicSearch{Heuristic: h, in: sub, e: newEvaluator(sub), bestCost: plan.Cost, best: plan}
+		h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, TreeWalk: d.TreeWalk}
+		hs := &heuristicSearch{Heuristic: h, in: sub, e: newEvaluatorMode(sub, d.TreeWalk), bestCost: plan.Cost, best: plan}
 		hs.order = make([]int, len(sub.Base))
 		for i := range hs.order {
 			hs.order[i] = i
 		}
-		cb := costBetas(sub)
+		cb := costBetas(sub, d.TreeWalk)
 		sort.SliceStable(hs.order, func(a, b int) bool { return cb[hs.order[a]] > cb[hs.order[b]] })
 		hs.prepare()
 		hs.dfs(0, 0)
@@ -289,16 +296,6 @@ func refine(in *Instance, e *evaluator) {
 			}
 		}
 	}
-}
-
-// maxSatisfiable counts how many of the instance's results can be at β
-// when every tuple is at its maximum.
-func maxSatisfiable(in *Instance) int {
-	e := newEvaluator(in)
-	for i, b := range in.Base {
-		e.setP(i, b.maxP())
-	}
-	return e.nSat
 }
 
 // Group is one partition cell: result indices and the union of their

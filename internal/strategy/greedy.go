@@ -17,10 +17,19 @@ type Greedy struct {
 	SkipRefinement bool
 	// Incremental recomputes gains only for tuples whose results were
 	// touched by the previous pick instead of rescanning every tuple
-	// each iteration. It produces the same plan (ties break on the
-	// lowest index either way) and is the ablation in
-	// BenchmarkAblationGainIncremental. The paper's algorithm rescans.
+	// each iteration, and selects the best gain through a lazy max-heap
+	// (stale entries are discarded on pop) instead of a linear scan. It
+	// produces the same plan (ties break on the lowest index either
+	// way) and is the ablation in BenchmarkAblationGainIncremental. The
+	// paper's algorithm rescans; Figure 11(b)/(c) keep using the
+	// faithful full-rescan mode, while the engine and the D&C group
+	// solves default to incremental.
 	Incremental bool
+	// TreeWalk evaluates result formulas with the legacy interface-typed
+	// tree walk instead of compiled lineage programs. Plans are
+	// identical; the flag exists for differential tests and the
+	// AblationCompiled benchmark.
+	TreeWalk bool
 }
 
 // Name implements Solver.
@@ -35,27 +44,86 @@ func (g *Greedy) Name() string {
 	}
 }
 
+// gainEntry is one lazy-heap element: the gain value at push time and
+// the base-tuple index. An entry is stale (and discarded on pop) when
+// its gain no longer matches the current gains[] value.
+type gainEntry struct {
+	gain float64
+	bi   int
+}
+
+// gainHeap is a hand-rolled binary max-heap over gainEntry, ordered by
+// descending gain, then ascending index — exactly the full rescan's
+// arg-max tie-breaking. It avoids container/heap's interface boxing,
+// which showed up as allocation pressure in the incremental profile.
+type gainHeap struct{ es []gainEntry }
+
+func gainLess(a, b gainEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.bi < b.bi
+}
+
+func (h *gainHeap) push(e gainEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !gainLess(h.es[i], h.es[parent]) {
+			break
+		}
+		h.es[i], h.es[parent] = h.es[parent], h.es[i]
+		i = parent
+	}
+}
+
+// popTop removes and returns the maximum entry; callers must check
+// len(h.es) > 0 first.
+func (h *gainHeap) popTop() gainEntry {
+	top := h.es[0]
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && gainLess(h.es[l], h.es[best]) {
+			best = l
+		}
+		if r < n && gainLess(h.es[r], h.es[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.es[i], h.es[best] = h.es[best], h.es[i]
+		i = best
+	}
+	return top
+}
+
 // Solve implements Solver.
 func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if !feasible(in) {
+	e := newEvaluatorMode(in, g.TreeWalk)
+	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
-	e := newEvaluator(in)
 	nodes := 0
 
 	// gainOf prices one δ step of tuple bi (the last step clamps to the
 	// tuple's maximum); a negative value marks the tuple as exhausted
-	// or useless.
+	// or useless. The step price is memoized per tuple in the evaluator
+	// and invalidated when the tuple's confidence moves.
 	gainOf := func(bi int) float64 {
-		b := in.Base[bi]
-		next := stepUp(b, in.Delta, e.p[bi])
+		next, c := e.stepPrice(bi)
 		if next == e.p[bi] {
 			return -1
 		}
-		c := b.Cost.Increment(e.p[bi], next)
 		df := e.deltaF(bi, next)
 		nodes++
 		if c <= 0 {
@@ -71,22 +139,45 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 	for i := range in.Base {
 		gains[i] = gainOf(i)
 	}
+	var h gainHeap
+	var dirtyMark []bool
+	var dirtyList []int
+	if g.Incremental {
+		h.es = make([]gainEntry, 0, len(in.Base))
+		for i, gn := range gains {
+			if gn > 0 {
+				h.push(gainEntry{gain: gn, bi: i})
+			}
+		}
+		dirtyMark = make([]bool, len(in.Base))
+		dirtyList = make([]int, 0, 64)
+	}
 	lastGain := make([]float64, len(in.Base)) // final gain* per raised tuple
 	raised := map[int]bool{}
 
 	// --- Phase 1: aggressive increase. ---
 	for e.nSat < in.Need {
+		pick, best := -1, 0.0
 		if g.Incremental {
-			// gains[] is current; nothing to do.
+			// Lazy max-heap: pop until the top entry matches the current
+			// gain of its tuple; stale snapshots are simply discarded
+			// (the dirty-update below re-pushed the live value).
+			for len(h.es) > 0 {
+				top := h.popTop()
+				if top.gain != gains[top.bi] {
+					continue
+				}
+				pick, best = top.bi, top.gain
+				break
+			}
 		} else {
 			for i := range in.Base {
 				gains[i] = gainOf(i)
 			}
-		}
-		pick, best := -1, 0.0
-		for i, gn := range gains {
-			if gn > best {
-				pick, best = i, gn
+			for i, gn := range gains {
+				if gn > best {
+					pick, best = i, gn
+				}
 			}
 		}
 		if pick < 0 {
@@ -108,15 +199,26 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 		raised[pick] = true
 		lastGain[pick] = best
 		if g.Incremental {
-			// Only tuples sharing a result with the pick can change.
-			dirty := map[int]bool{pick: true}
-			for _, ri := range e.resultsOf[pick] {
-				for _, v := range in.Results[ri].Formula.Vars() {
-					dirty[e.varIdx[v]] = true
+			// Only tuples sharing a result with the pick can change. The
+			// dirty set reuses a mark array and scratch list across picks
+			// instead of allocating a map each iteration.
+			dirtyList = dirtyList[:0]
+			dirtyMark[pick] = true
+			dirtyList = append(dirtyList, pick)
+			for _, oc := range e.resultsOf[pick] {
+				for _, bi := range e.basesOf[oc.ri] {
+					if !dirtyMark[bi] {
+						dirtyMark[bi] = true
+						dirtyList = append(dirtyList, bi)
+					}
 				}
 			}
-			for bi := range dirty {
+			for _, bi := range dirtyList {
+				dirtyMark[bi] = false
 				gains[bi] = gainOf(bi)
+				if gains[bi] > 0 {
+					h.push(gainEntry{gain: gains[bi], bi: bi})
+				}
 			}
 		}
 	}
@@ -154,14 +256,14 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 // -1 when none exists.
 func cheapestStep(in *Instance, e *evaluator) int {
 	best, bestCost := -1, 0.0
-	for bi, b := range in.Base {
-		next := stepUp(b, in.Delta, e.p[bi])
+	for bi := range in.Base {
+		next, c := e.stepPrice(bi)
 		if next == e.p[bi] {
 			continue
 		}
 		touches := false
-		for _, ri := range e.resultsOf[bi] {
-			if !e.satisfied[ri] {
+		for _, oc := range e.resultsOf[bi] {
+			if !e.satisfied[oc.ri] {
 				touches = true
 				break
 			}
@@ -169,7 +271,6 @@ func cheapestStep(in *Instance, e *evaluator) int {
 		if !touches {
 			continue
 		}
-		c := b.Cost.Increment(e.p[bi], next)
 		if best < 0 || c < bestCost {
 			best, bestCost = bi, c
 		}

@@ -33,6 +33,10 @@ type Heuristic struct {
 	// best plan found so far (0 = unlimited). The search is exact when
 	// it completes within the budget.
 	MaxNodes int
+	// TreeWalk evaluates result formulas with the legacy tree walk
+	// instead of compiled lineage programs (differential testing and
+	// ablation only; plans are identical).
+	TreeWalk bool
 }
 
 // NewHeuristic returns the full configuration: all four heuristics on,
@@ -71,14 +75,14 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if !feasible(in) {
-		return nil, ErrInfeasible
-	}
 	s := &heuristicSearch{
 		Heuristic: h,
 		in:        in,
-		e:         newEvaluator(in),
+		e:         newEvaluatorMode(in, h.TreeWalk),
 		bestCost:  math.Inf(1),
+	}
+	if s.e.satAtMax() < in.Need {
+		return nil, ErrInfeasible
 	}
 
 	// Variable ordering (H1 or instance order).
@@ -87,7 +91,7 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 		s.order[i] = i
 	}
 	if h.UseH1 {
-		cb := costBetas(in)
+		cb := costBetas(in, h.TreeWalk)
 		sort.SliceStable(s.order, func(a, b int) bool {
 			return cb[s.order[a]] > cb[s.order[b]] // descending: costly near the root
 		})
@@ -96,7 +100,7 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 	s.prepare()
 
 	if h.GreedyBound {
-		if gp, err := (&Greedy{}).Solve(in); err == nil {
+		if gp, err := (&Greedy{Incremental: true, TreeWalk: h.TreeWalk}).Solve(in); err == nil {
 			s.best = gp
 			s.bestCost = gp.Cost
 		}
@@ -138,7 +142,7 @@ func (s *heuristicSearch) prepare() {
 		s.minIncSuffix[d] = math.Min(s.minIncSuffix[d+1], s.cheapestInc[s.order[d]])
 	}
 	if s.UseH3 {
-		s.maxEval = newEvaluator(in)
+		s.maxEval = newEvaluatorMode(in, s.TreeWalk)
 		for i, b := range in.Base {
 			s.maxEval.setP(i, b.maxP())
 		}
@@ -226,8 +230,8 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 		// tuple is waste.
 		if s.UseH2 {
 			allSat := true
-			for _, ri := range s.e.resultsOf[bi] {
-				if !s.e.satisfied[ri] {
+			for _, oc := range s.e.resultsOf[bi] {
+				if !s.e.satisfied[oc.ri] {
 					allSat = false
 					break
 				}
@@ -251,8 +255,8 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 // confidence) until one of its results reaches β. When even the maximum
 // cannot get there, the paper adjusts the key to cost_max / (F_max/β)
 // where F_max is the best result confidence the tuple can reach.
-func costBetas(in *Instance) []float64 {
-	e := newEvaluator(in)
+func costBetas(in *Instance, treeWalk bool) []float64 {
+	e := newEvaluatorMode(in, treeWalk)
 	out := make([]float64, len(in.Base))
 	for bi, b := range in.Base {
 		out[bi] = costBetaOf(in, e, bi, b)
@@ -269,8 +273,8 @@ func costBetaOf(in *Instance, e *evaluator, bi int, b BaseTuple) float64 {
 			v = b.maxP()
 		}
 		e.setP(bi, v)
-		for _, ri := range e.resultsOf[bi] {
-			if e.resultProb[ri] >= in.Beta-1e-12 {
+		for _, oc := range e.resultsOf[bi] {
+			if e.resultProb[oc.ri] >= in.Beta-1e-12 {
 				return b.Cost.Increment(orig, v)
 			}
 		}
@@ -280,9 +284,9 @@ func costBetaOf(in *Instance, e *evaluator, bi int, b BaseTuple) float64 {
 	}
 	// Unreachable alone: adjusted key cost_max / (F_max/β).
 	fMax := 0.0
-	for _, ri := range e.resultsOf[bi] {
-		if e.resultProb[ri] > fMax {
-			fMax = e.resultProb[ri]
+	for _, oc := range e.resultsOf[bi] {
+		if e.resultProb[oc.ri] > fMax {
+			fMax = e.resultProb[oc.ri]
 		}
 	}
 	costMax := b.Cost.Increment(orig, b.maxP())

@@ -151,44 +151,117 @@ type Solver interface {
 // tuples' maxima satisfies the required number of results.
 var ErrInfeasible = fmt.Errorf("strategy: instance is infeasible")
 
+// compiledSharedLimit bounds the Shannon pivot count of compiled result
+// programs: a formula sharing more variables than this keeps the
+// tree-walk substitution path (which can simplify below 2^shared work),
+// while everything else rides the flat compiled kernels.
+const compiledSharedLimit = 16
+
+// occ is one occurrence of a base tuple in a result: the result index
+// and the tuple's dense slot in that result's compiled program (-1 when
+// the result is evaluated by tree walk). dp caches the address of the
+// occurrence's cell in the result's reusable derivative row — the row
+// is allocated once and refilled in place, so the pointer stays valid
+// and saves two dependent loads per gain evaluation on the hot path.
+type occ struct {
+	ri   int32
+	slot int32
+	dp   *float64
+}
+
 // evaluator tracks current confidences and per-result probabilities with
-// incremental recomputation when one tuple changes.
+// incremental recomputation when one tuple changes. By default every
+// result formula is compiled once (lineage.Compile) and re-evaluated
+// through its flat program; the faithful tree-walk path remains
+// available for differential testing and the ablation benchmarks.
 type evaluator struct {
 	in         *Instance
+	treeWalk   bool
 	p          []float64 // current confidence per base tuple
 	resultProb []float64
 	satisfied  []bool
 	nSat       int
-	resultsOf  [][]int // base index -> result indices mentioning it
+	resultsOf  [][]occ // base index -> result occurrences
+	basesOf    [][]int // result index -> base indices mentioned
 	varIdx     map[lineage.Var]int
-	// derivs caches per-result ∂F/∂p(v); entries invalidate whenever the
-	// result is recomputed.
-	derivs []map[lineage.Var]float64
-	// readOnce caches whether each result formula is read-once, enabling
-	// the linear-time probability path without re-deriving it per call.
+
+	// Compiled path: per-result program, machine, dense slot-indexed
+	// probabilities, and a reusable derivative row invalidated lazily
+	// (recompute only flips derivOK; the row is refilled on demand by
+	// one fused ProbDeriv sweep and its storage is never re-allocated).
+	compiled  []bool
+	machines  []*lineage.Machine
+	slotProbs [][]float64
+	derivRow  [][]float64
+	derivOK   []bool
+
+	// Tree-walk path (reference semantics): per-result derivative maps
+	// invalidated on recompute, read-once flags for the linear path.
+	derivs   []map[lineage.Var]float64
 	readOnce []bool
+
+	// Step-price cache: the next δ-grid confidence and its incremental
+	// cost per tuple depend only on the tuple's current confidence, so
+	// they are memoized here and invalidated by setP. This keeps the
+	// cost-model transcendentals (exp/log families) out of the greedy
+	// gain loop, which otherwise re-prices 10K unchanged tuples per pick.
+	stepNext []float64
+	stepCost []float64
+	stepOK   []bool
 }
 
-func newEvaluator(in *Instance) *evaluator {
+func newEvaluator(in *Instance) *evaluator { return newEvaluatorMode(in, false) }
+
+// newEvaluatorMode builds an evaluator; treeWalk selects the legacy
+// interface-typed tree evaluation instead of compiled programs.
+func newEvaluatorMode(in *Instance, treeWalk bool) *evaluator {
 	e := &evaluator{
 		in:         in,
+		treeWalk:   treeWalk,
 		p:          make([]float64, len(in.Base)),
 		resultProb: make([]float64, len(in.Results)),
 		satisfied:  make([]bool, len(in.Results)),
-		resultsOf:  make([][]int, len(in.Base)),
+		resultsOf:  make([][]occ, len(in.Base)),
+		basesOf:    make([][]int, len(in.Results)),
 		varIdx:     make(map[lineage.Var]int, len(in.Base)),
+		compiled:   make([]bool, len(in.Results)),
+		machines:   make([]*lineage.Machine, len(in.Results)),
+		slotProbs:  make([][]float64, len(in.Results)),
+		derivRow:   make([][]float64, len(in.Results)),
+		derivOK:    make([]bool, len(in.Results)),
 		derivs:     make([]map[lineage.Var]float64, len(in.Results)),
 		readOnce:   make([]bool, len(in.Results)),
+		stepNext:   make([]float64, len(in.Base)),
+		stepCost:   make([]float64, len(in.Base)),
+		stepOK:     make([]bool, len(in.Base)),
 	}
 	for i, b := range in.Base {
 		e.p[i] = b.P
 		e.varIdx[b.Var] = i
 	}
 	for ri, r := range in.Results {
+		if !treeWalk {
+			if prog, err := lineage.CompileExact(r.Formula, compiledSharedLimit); err == nil {
+				e.compiled[ri] = true
+				e.machines[ri] = lineage.NewMachine(prog)
+				e.slotProbs[ri] = make([]float64, prog.NumSlots())
+				e.derivRow[ri] = make([]float64, prog.NumSlots())
+				for s, v := range prog.Vars() {
+					bi := e.varIdx[v]
+					e.slotProbs[ri][s] = e.p[bi]
+					e.resultsOf[bi] = append(e.resultsOf[bi], occ{
+						ri: int32(ri), slot: int32(s), dp: &e.derivRow[ri][s],
+					})
+					e.basesOf[ri] = append(e.basesOf[ri], bi)
+				}
+				continue
+			}
+		}
 		e.readOnce[ri] = r.Formula.ReadOnce()
 		for _, v := range r.Formula.Vars() {
 			bi := e.varIdx[v]
-			e.resultsOf[bi] = append(e.resultsOf[bi], ri)
+			e.resultsOf[bi] = append(e.resultsOf[bi], occ{ri: int32(ri), slot: -1})
+			e.basesOf[ri] = append(e.basesOf[ri], bi)
 		}
 	}
 	for ri := range in.Results {
@@ -206,14 +279,21 @@ func (e *evaluator) assignment() lineage.Assignment {
 
 func (e *evaluator) recompute(ri int) {
 	var prob float64
-	if e.readOnce[ri] {
+	switch {
+	case e.compiled[ri]:
+		prob = e.machines[ri].Prob(e.slotProbs[ri])
+		// Invalidate lazily: the dense row is refilled (and reused) only
+		// when a gain computation actually needs derivatives.
+		e.derivOK[ri] = false
+	case e.readOnce[ri]:
 		// Exact for read-once formulas and allocation-free.
 		prob = lineage.ProbIndependent(e.in.Results[ri].Formula, e.assignment())
-	} else {
+		e.derivs[ri] = nil
+	default:
 		prob = lineage.Prob(e.in.Results[ri].Formula, e.assignment())
+		e.derivs[ri] = nil
 	}
 	e.resultProb[ri] = prob
-	e.derivs[ri] = nil
 	sat := prob >= e.in.Beta-1e-12
 	if sat != e.satisfied[ri] {
 		e.satisfied[ri] = sat
@@ -231,8 +311,12 @@ func (e *evaluator) setP(bi int, p float64) {
 		return
 	}
 	e.p[bi] = p
-	for _, ri := range e.resultsOf[bi] {
-		e.recompute(ri)
+	e.stepOK[bi] = false
+	for _, oc := range e.resultsOf[bi] {
+		if oc.slot >= 0 {
+			e.slotProbs[oc.ri][oc.slot] = p
+		}
+		e.recompute(int(oc.ri))
 	}
 }
 
@@ -254,28 +338,94 @@ func (e *evaluator) deltaF(bi int, newP float64) float64 {
 	if newP == cur {
 		return 0
 	}
-	v := e.in.Base[bi].Var
+	d := newP - cur
 	total := 0.0
-	for _, ri := range e.resultsOf[bi] {
+	occs := e.resultsOf[bi]
+	for i := range occs {
+		oc := &occs[i]
+		ri := int(oc.ri)
 		if e.satisfied[ri] {
+			continue
+		}
+		if oc.dp != nil {
+			if !e.derivOK[ri] {
+				e.machines[ri].ProbDeriv(e.slotProbs[ri], e.derivRow[ri])
+				e.derivOK[ri] = true
+			}
+			total += d * *oc.dp
 			continue
 		}
 		if e.derivs[ri] == nil {
 			e.derivs[ri] = lineage.Derivatives(e.in.Results[ri].Formula, e.assignment())
 		}
-		total += (newP - cur) * e.derivs[ri][v]
+		total += d * e.derivs[ri][e.in.Base[bi].Var]
 	}
 	return total
 }
 
+// stepPrice returns (memoized) the next δ-grid confidence of tuple bi
+// and the incremental cost of stepping there from the current
+// confidence. next == e.p[bi] (and cost 0) marks the tuple exhausted.
+func (e *evaluator) stepPrice(bi int) (next, incCost float64) {
+	if e.stepOK[bi] {
+		return e.stepNext[bi], e.stepCost[bi]
+	}
+	return e.stepPriceSlow(bi)
+}
+
+func (e *evaluator) stepPriceSlow(bi int) (next, incCost float64) {
+	b := e.in.Base[bi]
+	n := stepUp(b, e.in.Delta, e.p[bi])
+	var c float64
+	if n != e.p[bi] {
+		c = b.Cost.Increment(e.p[bi], n)
+	}
+	e.stepNext[bi], e.stepCost[bi] = n, c
+	e.stepOK[bi] = true
+	return n, c
+}
+
+// satAtMax counts the results that reach β when every tuple sits at its
+// maximum confidence. It is side-effect free: the evaluator's current
+// state is untouched, so a solver can run the feasibility check on the
+// evaluator it already built instead of constructing (and compiling)
+// a second one.
+func (e *evaluator) satAtMax() int {
+	maxAssign := lineage.FuncAssignment(func(v lineage.Var) float64 {
+		return e.in.Base[e.varIdx[v]].maxP()
+	})
+	var scratch []float64
+	sat := 0
+	for ri := range e.in.Results {
+		var prob float64
+		switch {
+		case e.compiled[ri]:
+			n := len(e.slotProbs[ri])
+			if cap(scratch) < n {
+				scratch = make([]float64, n)
+			}
+			s := scratch[:n]
+			// basesOf is in slot order for compiled results.
+			for k, bi := range e.basesOf[ri] {
+				s[k] = e.in.Base[bi].maxP()
+			}
+			prob = e.machines[ri].Prob(s)
+		case e.readOnce[ri]:
+			prob = lineage.ProbIndependent(e.in.Results[ri].Formula, maxAssign)
+		default:
+			prob = lineage.Prob(e.in.Results[ri].Formula, maxAssign)
+		}
+		if prob >= e.in.Beta-1e-12 {
+			sat++
+		}
+	}
+	return sat
+}
+
 // feasible reports whether raising every tuple to its maximum satisfies
 // the instance.
-func feasible(in *Instance) bool {
-	e := newEvaluator(in)
-	for i, b := range in.Base {
-		e.setP(i, b.maxP())
-	}
-	return e.nSat >= in.Need
+func feasible(in *Instance, treeWalk bool) bool {
+	return newEvaluatorMode(in, treeWalk).satAtMax() >= in.Need
 }
 
 // plan snapshots the evaluator's state into a Plan.
@@ -314,14 +464,13 @@ func (in *Instance) Verify(p *Plan) error {
 	if math.Abs(total-p.Cost) > 1e-6*(1+math.Abs(total)) {
 		return fmt.Errorf("strategy: plan cost %g inconsistent with recomputed %g", p.Cost, total)
 	}
-	assign := lineage.FuncAssignment(func(v lineage.Var) float64 {
-		for i, b := range in.Base {
-			if b.Var == v {
-				return p.NewP[i]
-			}
-		}
-		return 0
-	})
+	// One map build instead of a per-variable linear scan of Base keeps
+	// verification O(N + Σ|formula|) rather than O(N²).
+	probs := make(lineage.MapAssignment, len(in.Base))
+	for i, b := range in.Base {
+		probs[b.Var] = p.NewP[i]
+	}
+	assign := probs
 	sat := 0
 	for _, r := range in.Results {
 		if lineage.Prob(r.Formula, assign) >= in.Beta-1e-9 {
