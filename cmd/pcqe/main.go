@@ -10,7 +10,7 @@
 //	pcqe -table Name=file.csv [-table ...] \
 //	     -role user=role [-role ...] \
 //	     -policy role:purpose:beta [-policy ...] \
-//	     -user alice -purpose analysis [-min 0.5] [-apply] \
+//	     -user alice -purpose analysis [-min 0.5] [-apply] [-timeout 2s] \
 //	     'SELECT ...'
 //
 // CSV files use the table's column names as the header, plus optional
@@ -53,6 +53,7 @@ func run() error {
 	purpose := flag.String("purpose", "any", "purpose of the query")
 	minFrac := flag.Float64("min", 0, "θ: fraction of results required (enables improvement proposals)")
 	apply := flag.Bool("apply", false, "apply the improvement proposal and re-run the query")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the request; improvement planning degrades to a partial proposal when it expires (0 = no limit)")
 	execScript := flag.String("exec", "", "SQL script file to execute before the query (CREATE TABLE / INSERT ... WITH CONFIDENCE / UPDATE / DELETE)")
 	flag.Parse()
 
@@ -119,7 +120,7 @@ func run() error {
 	}
 
 	engine := core.NewEngine(cat, store, nil)
-	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac}
+	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac, Timeout: *timeout}
 	resp, err := engine.Evaluate(req)
 	if err != nil {
 		return err

@@ -20,6 +20,10 @@ const (
 	AuditPropose
 	// AuditApply records that an improvement plan was applied.
 	AuditApply
+	// AuditDegrade records that improvement planning was cut short by a
+	// deadline, a solver budget, or a recovered solver fault — the
+	// response degraded to a partial proposal or none.
+	AuditDegrade
 )
 
 // String returns the event kind's name.
@@ -31,6 +35,8 @@ func (k AuditEventKind) String() string {
 		return "propose"
 	case AuditApply:
 		return "apply"
+	case AuditDegrade:
+		return "degrade"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -51,6 +57,11 @@ type AuditEvent struct {
 	// Cost and Increments are set for propose/apply events.
 	Cost       float64
 	Increments []Increment
+	// Partial marks propose events whose plan is a best-effort incumbent
+	// (budget exhaustion) and degrade events that still carry a proposal.
+	Partial bool
+	// Detail carries the degradation cause for degrade events.
+	Detail string
 }
 
 // String renders the event as one journal line.
@@ -65,6 +76,11 @@ func (e AuditEvent) String() string {
 		fmt.Fprintf(&b, " β=%.4g released=%d withheld=%d", e.Beta, e.Released, e.Withheld)
 	case AuditPropose, AuditApply:
 		fmt.Fprintf(&b, " cost=%.4g tuples=%d", e.Cost, len(e.Increments))
+		if e.Partial {
+			b.WriteString(" partial")
+		}
+	case AuditDegrade:
+		fmt.Fprintf(&b, " partial=%t cause=%q", e.Partial, e.Detail)
 	}
 	return b.String()
 }

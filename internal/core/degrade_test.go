@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pcqe/internal/strategy"
+)
+
+// stubSolver scripts the strategy layer's outcome so the engine's
+// degradation handling can be tested in isolation.
+type stubSolver struct {
+	solve func(ctx context.Context, in *strategy.Instance) (*strategy.Plan, error)
+}
+
+func (s *stubSolver) Name() string { return "stub" }
+func (s *stubSolver) Solve(in *strategy.Instance) (*strategy.Plan, error) {
+	return s.solve(context.Background(), in)
+}
+func (s *stubSolver) SolveContext(ctx context.Context, in *strategy.Instance, b strategy.Budget) (*strategy.Plan, error) {
+	return s.solve(ctx, in)
+}
+
+var blockedReq = Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0}
+
+func TestDegradeWithoutIncumbent(t *testing.T) {
+	budgetErr := &strategy.BudgetExceededError{Solver: "stub", Resource: strategy.ResourceDeadline}
+	e := newVentureEngine(t, &stubSolver{
+		solve: func(context.Context, *strategy.Instance) (*strategy.Plan, error) {
+			return nil, budgetErr
+		},
+	})
+	log := &AuditLog{}
+	e.SetAudit(log)
+	resp, err := e.Evaluate(blockedReq)
+	if err != nil {
+		t.Fatalf("budget exhaustion must not fail the request: %v", err)
+	}
+	if !errors.Is(resp.Degraded, error(budgetErr)) {
+		t.Fatalf("Degraded = %v, want the solver's budget error", resp.Degraded)
+	}
+	if resp.Proposal != nil {
+		t.Fatal("no incumbent means no proposal")
+	}
+	if len(resp.Withheld) != 1 {
+		t.Fatal("query results must still be returned")
+	}
+	events := log.ByKind(AuditDegrade)
+	if len(events) != 1 || events[0].Partial {
+		t.Fatalf("degrade audit events = %+v", events)
+	}
+	if !strings.Contains(events[0].String(), "degrade") {
+		t.Fatalf("event renders as %q", events[0].String())
+	}
+	if !strings.Contains(resp.Report(), "planning degraded") {
+		t.Fatalf("report missing degradation notice:\n%s", resp.Report())
+	}
+}
+
+func TestDegradeWithPartialIncumbent(t *testing.T) {
+	budgetErr := &strategy.BudgetExceededError{Solver: "stub", Resource: strategy.ResourceSteps}
+	e := newVentureEngine(t, &stubSolver{
+		solve: func(_ context.Context, in *strategy.Instance) (*strategy.Plan, error) {
+			plan, err := (&strategy.Greedy{}).Solve(in)
+			if err != nil {
+				return nil, err
+			}
+			plan.Partial = true
+			return plan, budgetErr
+		},
+	})
+	log := &AuditLog{}
+	e.SetAudit(log)
+	resp, err := e.Evaluate(blockedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded == nil {
+		t.Fatal("Degraded not set")
+	}
+	if resp.Proposal == nil || !resp.Proposal.Partial() {
+		t.Fatalf("proposal = %+v, want a partial proposal", resp.Proposal)
+	}
+	if math.Abs(resp.Proposal.Cost()-10) > 1e-9 {
+		t.Fatalf("partial proposal cost = %v", resp.Proposal.Cost())
+	}
+	rep := resp.Report()
+	if !strings.Contains(rep, "partial improvement proposal") || !strings.Contains(rep, "planning degraded") {
+		t.Fatalf("report missing partial markers:\n%s", rep)
+	}
+	deg := log.ByKind(AuditDegrade)
+	if len(deg) != 1 || !deg[0].Partial {
+		t.Fatalf("degrade events = %+v", deg)
+	}
+	prop := log.ByKind(AuditPropose)
+	if len(prop) != 1 || !prop[0].Partial {
+		t.Fatalf("propose events = %+v", prop)
+	}
+	if !strings.Contains(prop[0].String(), "partial") {
+		t.Fatalf("propose event renders as %q", prop[0].String())
+	}
+	// A feasible partial plan is still applicable.
+	if err := e.Apply(resp.Proposal); err != nil {
+		t.Fatalf("applying feasible partial plan: %v", err)
+	}
+}
+
+func TestDegradeOnSolverPanic(t *testing.T) {
+	panicErr := &strategy.SolverPanicError{Solver: "stub", Fingerprint: "x", Value: "boom"}
+	e := newVentureEngine(t, &stubSolver{
+		solve: func(context.Context, *strategy.Instance) (*strategy.Plan, error) {
+			return nil, panicErr
+		},
+	})
+	resp, err := e.Evaluate(blockedReq)
+	if err != nil {
+		t.Fatalf("recovered solver panic must not fail the request: %v", err)
+	}
+	if !errors.Is(resp.Degraded, error(panicErr)) {
+		t.Fatalf("Degraded = %v", resp.Degraded)
+	}
+}
+
+func TestStructuralSolverErrorStillFails(t *testing.T) {
+	e := newVentureEngine(t, &stubSolver{
+		solve: func(context.Context, *strategy.Instance) (*strategy.Plan, error) {
+			return nil, errors.New("solver misconfigured")
+		},
+	})
+	if _, err := e.Evaluate(blockedReq); err == nil {
+		t.Fatal("structural errors must surface, not degrade")
+	}
+}
+
+func TestRequestTimeoutReachesSolver(t *testing.T) {
+	e := newVentureEngine(t, &stubSolver{
+		solve: func(ctx context.Context, in *strategy.Instance) (*strategy.Plan, error) {
+			// Simulate a long solve that honors cancellation.
+			select {
+			case <-ctx.Done():
+				return nil, &strategy.BudgetExceededError{
+					Solver: "stub", Resource: strategy.ResourceDeadline, Err: ctx.Err(),
+				}
+			case <-time.After(5 * time.Second):
+				return (&strategy.Greedy{}).Solve(in)
+			}
+		},
+	})
+	req := blockedReq
+	req.Timeout = 20 * time.Millisecond
+	start := time.Now()
+	resp, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("request did not respect its timeout (%v elapsed)", time.Since(start))
+	}
+	if resp.Degraded == nil || !errors.Is(resp.Degraded, context.DeadlineExceeded) {
+		t.Fatalf("Degraded = %v, want deadline exhaustion", resp.Degraded)
+	}
+}
+
+func TestEvaluateContextCanceled(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EvaluateContext(ctx, blockedReq); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMinFractionValidation(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	for _, bad := range []float64{math.NaN(), -0.1, 1.5, math.Inf(1)} {
+		req := blockedReq
+		req.MinFraction = bad
+		if _, err := e.Evaluate(req); err == nil {
+			t.Errorf("MinFraction %v accepted", bad)
+		}
+	}
+}
+
+func TestRealSolverDeadlineEndToEnd(t *testing.T) {
+	// With a real solver and an effectively-zero planning window, the
+	// engine still returns the query results and records the
+	// degradation. A pre-expired context deadline exercises the same
+	// path deterministically.
+	e := newVentureEngine(t, strategy.NewDivideAndConquer())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	// Query evaluation refuses to start under an expired context.
+	if _, err := e.EvaluateContext(ctx, blockedReq); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline error before query start", err)
+	}
+}

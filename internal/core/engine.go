@@ -16,9 +16,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"pcqe/internal/policy"
 	"pcqe/internal/relation"
@@ -60,6 +63,13 @@ type Request struct {
 	// MinFraction is θ: the fraction of intermediate results the user
 	// needs released. 0 disables improvement proposals.
 	MinFraction float64
+	// Timeout bounds the request's evaluation wall-clock, most
+	// importantly the NP-hard improvement planning step: when it
+	// expires, planning degrades to the solver's best incumbent (a
+	// partial proposal) or is dropped, and the query results are still
+	// returned. 0 = no limit. It combines with any deadline already on
+	// the context passed to EvaluateContext (the earlier wins).
+	Timeout time.Duration
 }
 
 // Row is one query result with its computed confidence.
@@ -88,6 +98,12 @@ type Response struct {
 	// Proposal is non-nil when fewer than θ·n rows were released and an
 	// improvement plan exists.
 	Proposal *Proposal
+	// Degraded is non-nil when improvement planning was cut short by the
+	// request deadline, a solver budget, or a recovered solver fault
+	// (typically a *strategy.BudgetExceededError or
+	// *strategy.SolverPanicError). The response is still valid; Proposal
+	// — when also present — is a best-effort partial plan.
+	Degraded error
 }
 
 // Need returns how many additional rows must clear the policy to honor
@@ -108,6 +124,27 @@ func (r *Response) Need(req Request) int {
 // Evaluate runs the full PCQE flow for one request (steps 1–4 of
 // Figure 1; Apply is step 5).
 func (e *Engine) Evaluate(req Request) (*Response, error) {
+	return e.EvaluateContext(context.Background(), req)
+}
+
+// EvaluateContext is Evaluate under a context: cancellation or deadline
+// expiry (from ctx or req.Timeout) bounds the whole flow. Query
+// evaluation that cannot start returns the context error; improvement
+// planning instead degrades gracefully — the solver's best incumbent
+// becomes a partial Proposal (or none), Response.Degraded records why,
+// and the released rows are returned either way.
+func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, error) {
+	if math.IsNaN(req.MinFraction) || req.MinFraction < 0 || req.MinFraction > 1 {
+		return nil, fmt.Errorf("core: min fraction θ=%g outside [0,1]", req.MinFraction)
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rows, schema, err := sql.Query(e.catalog, req.Query)
 	if err != nil {
 		return nil, err
@@ -131,11 +168,19 @@ func (e *Engine) Evaluate(req Request) (*Response, error) {
 
 	if applied && req.MinFraction > 0 {
 		if need := resp.Need(req); need > 0 {
-			prop, err := e.propose(resp, need)
-			if err != nil && err != strategy.ErrInfeasible {
+			prop, err := e.propose(ctx, resp, need)
+			switch {
+			case err == nil || errors.Is(err, strategy.ErrInfeasible):
+				// prop is nil on infeasibility: nothing to offer.
+			case isDegradation(err):
+				// Deadline/budget exhaustion or a recovered solver fault:
+				// the query results stand, planning degrades. prop (when
+				// non-nil) is the solver's partial incumbent.
+				resp.Degraded = err
+			default:
 				return nil, err
 			}
-			resp.Proposal = prop // nil on infeasibility: nothing to offer
+			resp.Proposal = prop
 			if prop != nil {
 				prop.user, prop.purpose = req.User, req.Purpose
 			}
@@ -147,15 +192,34 @@ func (e *Engine) Evaluate(req Request) (*Response, error) {
 			Query: req.Query, Beta: resp.Threshold,
 			Released: len(resp.Released), Withheld: len(resp.Withheld),
 		})
+		if resp.Degraded != nil {
+			e.audit.record(AuditEvent{
+				Kind: AuditDegrade, User: req.User, Purpose: req.Purpose,
+				Query: req.Query, Beta: resp.Threshold,
+				Partial: resp.Proposal != nil, Detail: resp.Degraded.Error(),
+			})
+		}
 		if resp.Proposal != nil {
 			e.audit.record(AuditEvent{
 				Kind: AuditPropose, User: req.User, Purpose: req.Purpose,
 				Query: req.Query, Beta: resp.Threshold,
 				Cost: resp.Proposal.Cost(), Increments: resp.Proposal.Increments(),
+				Partial: resp.Proposal.Partial(),
 			})
 		}
 	}
 	return resp, nil
+}
+
+// isDegradation reports whether a solver error should degrade the
+// response (partial or missing proposal) instead of failing the whole
+// request: budget/deadline exhaustion and recovered solver panics
+// qualify, structural errors (bad instance, unknown variables) do not.
+func isDegradation(err error) bool {
+	var bx *strategy.BudgetExceededError
+	var px *strategy.SolverPanicError
+	return errors.As(err, &bx) || errors.As(err, &px) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func sortRows(rows []Row) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,9 @@ type Proposal struct {
 	// skipped counts withheld rows whose lineage could not enter the
 	// optimization (non-monotone lineage from EXCEPT-style queries).
 	skipped int
+	// partial marks a plan cut short by a deadline or budget: feasible
+	// for fewer results (or unrefined) compared to a full solve.
+	partial bool
 	// user and purpose identify the request that triggered the
 	// proposal, for the audit journal.
 	user, purpose string
@@ -33,6 +37,13 @@ func (p *Proposal) Solver() string { return p.solver }
 // Skipped reports how many withheld rows were not improvable (their
 // lineage contains negation).
 func (p *Proposal) Skipped() int { return p.skipped }
+
+// Partial reports whether the plan is a best-effort incumbent returned
+// under a deadline or budget rather than a completed solve. Partial
+// plans are still internally consistent (they pass Verify when they
+// satisfy enough results) but may cost more or satisfy fewer rows than
+// a full solve would.
+func (p *Proposal) Partial() bool { return p.partial }
 
 // Increment is one suggested confidence raise.
 type Increment struct {
@@ -66,8 +77,12 @@ func (p *Proposal) Increments() []Increment {
 }
 
 // propose builds the optimization instance from the withheld rows and
-// solves it.
-func (e *Engine) propose(resp *Response, need int) (*Proposal, error) {
+// solves it under the request context. When the solver runs out of
+// deadline or budget but still produced an anytime incumbent, propose
+// returns that plan as a partial Proposal alongside the
+// *strategy.BudgetExceededError so the caller can degrade instead of
+// fail.
+func (e *Engine) propose(ctx context.Context, resp *Response, need int) (*Proposal, error) {
 	in := &strategy.Instance{
 		Beta: resp.Threshold + betaMargin,
 		// The paper's evaluation grid uses δ=0.1; keep it as the
@@ -122,11 +137,15 @@ func (e *Engine) propose(resp *Response, need int) (*Proposal, error) {
 		return nil, strategy.ErrInfeasible
 	}
 	in.Need = need
-	plan, err := e.solver.Solve(in)
-	if err != nil {
+	plan, err := strategy.SolveContext(ctx, e.solver, in, strategy.Budget{})
+	if plan == nil && err != nil {
 		return nil, err
 	}
-	return &Proposal{instance: in, plan: plan, solver: e.solver.Name(), skipped: skipped}, nil
+	prop := &Proposal{
+		instance: in, plan: plan, solver: e.solver.Name(), skipped: skipped,
+		partial: plan.Partial,
+	}
+	return prop, err
 }
 
 // betaMargin lifts the optimization target infinitesimally above the
@@ -171,12 +190,20 @@ func (e *Engine) Apply(p *Proposal) error {
 // response's proposal is replaced by a shared one attached to every
 // response that needed improvement.
 func (e *Engine) EvaluateMulti(reqs []Request) ([]*Response, *Proposal, error) {
+	return e.EvaluateMultiContext(context.Background(), reqs)
+}
+
+// EvaluateMultiContext is EvaluateMulti under a context: cancellation
+// bounds both the per-query evaluations and the shared planning solve.
+// A shared solve cut short by the context degrades to no shared plan
+// (the individual responses stand alone), mirroring EvaluateContext.
+func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*Response, *Proposal, error) {
 	resps := make([]*Response, len(reqs))
 	// First pass: evaluate all queries without improvement planning.
 	for i, req := range reqs {
 		r := req
 		r.MinFraction = 0
-		resp, err := e.Evaluate(r)
+		resp, err := e.EvaluateContext(ctx, r)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: query %d: %w", i, err)
 		}
@@ -254,11 +281,11 @@ func (e *Engine) EvaluateMulti(reqs []Request) ([]*Response, *Proposal, error) {
 		totalNeed += b.need
 	}
 	combined.Need = totalNeed
-	plan, err := e.solver.Solve(combined)
-	if err != nil {
+	plan, err := strategy.SolveContext(ctx, e.solver, combined, strategy.Budget{})
+	if err != nil || plan == nil {
 		return resps, nil, nil // no feasible shared plan; responses stand alone
 	}
-	plan = topUpBlocks(e, combined, plan, blocks)
+	plan = topUpBlocks(ctx, e, combined, plan, blocks)
 	prop := &Proposal{instance: combined, plan: plan, solver: e.solver.Name()}
 	for i := range resps {
 		if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
@@ -278,7 +305,7 @@ type queryBlock struct{ first, count, need int }
 // topUpBlocks ensures every query block meets its own need under the
 // combined plan; blocks that fall short are re-solved locally starting
 // from the combined confidences, then merged (max per tuple).
-func topUpBlocks(e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock) *strategy.Plan {
+func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock) *strategy.Plan {
 	assign := func(p []float64) lineage.Assignment {
 		idx := map[lineage.Var]int{}
 		for i, b := range combined.Base {
@@ -319,7 +346,7 @@ func topUpBlocks(e *Engine, combined *strategy.Instance, plan *strategy.Plan, bl
 				}
 			}
 		}
-		if sp, err := e.solver.Solve(sub); err == nil {
+		if sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{}); err == nil {
 			for si, bi := range mapping {
 				if sp.NewP[si] > newP[bi] {
 					newP[bi] = sp.NewP[si]

@@ -46,8 +46,15 @@ func (r *Response) report(lineageCol bool) string {
 	} else {
 		fmt.Fprintf(&b, "no confidence policy applied: released all %d rows\n", len(r.Released))
 	}
+	if r.Degraded != nil {
+		fmt.Fprintf(&b, "improvement planning degraded: %v\n", r.Degraded)
+	}
 	if r.Proposal != nil {
-		fmt.Fprintf(&b, "improvement proposal (%s, cost %.4g):\n", r.Proposal.Solver(), r.Proposal.Cost())
+		partial := ""
+		if r.Proposal.Partial() {
+			partial = "partial "
+		}
+		fmt.Fprintf(&b, "%simprovement proposal (%s, cost %.4g):\n", partial, r.Proposal.Solver(), r.Proposal.Cost())
 		for _, inc := range r.Proposal.Increments() {
 			fmt.Fprintf(&b, "  raise tuple t%d: %.3g → %.3g (cost %.4g)\n",
 				int(inc.Var), inc.From, inc.To, inc.Cost)

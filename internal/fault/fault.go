@@ -1,0 +1,91 @@
+// Package fault provides deterministic fault-injection probes for
+// resilience testing. Production code marks interesting control-flow
+// points with Probe(site); tests arm the package and register actions
+// (delays, context cancellations, panics) keyed by site name. When the
+// package is disarmed — the default — a probe is a single atomic load,
+// so probes may sit on hot paths.
+//
+// Probe sites are plain strings, by convention dotted paths naming the
+// package and the loop they interrupt (e.g. "strategy.heuristic.dfs").
+// Actions run synchronously on the goroutine that hit the probe, so a
+// registered panic unwinds exactly where a real fault would; the
+// surrounding code's recovery boundaries are what is under test.
+package fault
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed   atomic.Bool
+	mu      sync.Mutex
+	actions = map[string]func(){}
+	hits    = map[string]int64{}
+)
+
+// Enable arms the probes: subsequent Probe calls record hits and run
+// registered actions.
+func Enable() { armed.Store(true) }
+
+// Disable disarms the probes without clearing registrations.
+func Disable() { armed.Store(false) }
+
+// Reset disarms the probes and clears all registered actions and hit
+// counters. Tests should defer Reset after Enable.
+func Reset() {
+	armed.Store(false)
+	mu.Lock()
+	actions = map[string]func(){}
+	hits = map[string]int64{}
+	mu.Unlock()
+}
+
+// Register installs action to run every time site's probe is hit while
+// the package is armed. A nil action removes the registration.
+func Register(site string, action func()) {
+	mu.Lock()
+	if action == nil {
+		delete(actions, site)
+	} else {
+		actions[site] = action
+	}
+	mu.Unlock()
+}
+
+// Probe marks a fault-injection point. It is a no-op unless Enable was
+// called; when armed it counts the hit and runs the site's registered
+// action, if any, synchronously.
+func Probe(site string) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	hits[site]++
+	a := actions[site]
+	mu.Unlock()
+	if a != nil {
+		a()
+	}
+}
+
+// Hits returns how many times site's probe fired while armed.
+func Hits(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// SitesHit returns the sorted names of every probe site that fired at
+// least once while armed — used by tests asserting probe coverage.
+func SitesHit() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(hits))
+	for s := range hits {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

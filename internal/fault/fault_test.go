@@ -1,0 +1,97 @@
+package fault
+
+import "testing"
+
+func TestDisarmedProbeIsNop(t *testing.T) {
+	Reset()
+	ran := false
+	Register("x", func() { ran = true })
+	defer Reset()
+	Probe("x")
+	if ran {
+		t.Fatal("action ran while disarmed")
+	}
+	if Hits("x") != 0 {
+		t.Fatalf("hits = %d while disarmed", Hits("x"))
+	}
+}
+
+func TestArmedProbeCountsAndRuns(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable()
+	ran := 0
+	Register("a.b", func() { ran++ })
+	Probe("a.b")
+	Probe("a.b")
+	Probe("other") // no action registered: counted only
+	if ran != 2 {
+		t.Fatalf("action ran %d times, want 2", ran)
+	}
+	if Hits("a.b") != 2 || Hits("other") != 1 {
+		t.Fatalf("hits = %d/%d", Hits("a.b"), Hits("other"))
+	}
+	sites := SitesHit()
+	if len(sites) != 2 || sites[0] != "a.b" || sites[1] != "other" {
+		t.Fatalf("SitesHit = %v", sites)
+	}
+}
+
+func TestDisableKeepsRegistrations(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable()
+	ran := 0
+	Register("s", func() { ran++ })
+	Probe("s")
+	Disable()
+	Probe("s")
+	Enable()
+	Probe("s")
+	if ran != 2 {
+		t.Fatalf("action ran %d times, want 2 (disabled window skipped)", ran)
+	}
+}
+
+func TestNilActionUnregisters(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable()
+	ran := false
+	Register("s", func() { ran = true })
+	Register("s", nil)
+	Probe("s")
+	if ran {
+		t.Fatal("unregistered action ran")
+	}
+	if Hits("s") != 1 {
+		t.Fatal("hit not counted after unregistration")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	Enable()
+	Probe("s")
+	Reset()
+	if Hits("s") != 0 || len(SitesHit()) != 0 {
+		t.Fatal("Reset kept hit counters")
+	}
+	Probe("s")
+	if Hits("s") != 0 {
+		t.Fatal("Reset left probes armed")
+	}
+}
+
+func TestInjectedPanicPropagates(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable()
+	Register("boom", func() { panic("injected") })
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	Probe("boom")
+	t.Fatal("unreachable")
+}

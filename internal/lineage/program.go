@@ -181,6 +181,10 @@ type Machine struct {
 	pinned []int8
 	fact   []float64 // per-pivot weight factors (shared evaluation)
 	facPre []float64 // prefix products of fact
+	// hook, when set, is called once per evaluated Shannon pivot
+	// assignment with the count since the last call (currently always
+	// 1). See SetPivotHook.
+	hook func(pivots int)
 }
 
 // NewMachine returns a Machine for p.
@@ -201,6 +205,16 @@ func NewMachine(p *Program) *Machine {
 	}
 	return m
 }
+
+// SetPivotHook installs f as the machine's cooperative checkpoint for
+// Shannon pivot enumeration: shared-variable evaluation calls f once per
+// pivot assignment (2^shared per Prob/ProbDeriv), which is the unit of
+// exponential work a caller may want to budget. The hook may panic to
+// abort an evaluation mid-enumeration — the caller that installed it
+// owns the recovery, and must then discard the machine's in-flight
+// evaluation state (pin flags may be left set). A nil f removes the
+// hook; read-once evaluation never calls it.
+func (m *Machine) SetPivotHook(f func(pivots int)) { m.hook = f }
 
 // inside runs the forward pass under the current pins and returns the
 // root probability. Multiplication order matches the tree walk's
@@ -327,6 +341,9 @@ func (m *Machine) probShared(probs []float64, deriv []float64) float64 {
 	n := len(p.shared)
 	total := 0.0
 	for mask := 0; mask < 1<<n; mask++ {
+		if m.hook != nil {
+			m.hook(1)
+		}
 		w := 1.0
 		for k, s := range p.shared {
 			pv := clamp01(probs[s])

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"pcqe/internal/cost"
@@ -80,11 +81,17 @@ func LoadCSV(t *Table, r io.Reader) (int, error) {
 				if err != nil {
 					return n, fmt.Errorf("relation: CSV line %d: bad confidence %q", line, field)
 				}
+				if math.IsNaN(confidence) || confidence < 0 || confidence > 1 {
+					return n, fmt.Errorf("relation: CSV line %d: confidence %q outside [0,1]", line, field)
+				}
 			case costIdx:
 				if field != "" {
 					rate, err := strconv.ParseFloat(field, 64)
 					if err != nil {
 						return n, fmt.Errorf("relation: CSV line %d: bad cost rate %q", line, field)
+					}
+					if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+						return n, fmt.Errorf("relation: CSV line %d: cost rate %q must be a finite non-negative number", line, field)
 					}
 					fn = cost.Linear{Rate: rate}
 				}

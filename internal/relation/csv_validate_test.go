@@ -1,0 +1,81 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pcqe/internal/cost"
+)
+
+func loadCSVString(t *testing.T, data string) (int, error) {
+	t.Helper()
+	c := NewCatalog()
+	tab, err := c.CreateTable("T", NewSchema(Column{Name: "a", Type: TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LoadCSV(tab, strings.NewReader(data))
+}
+
+func TestLoadCSVRejectsBadConfidence(t *testing.T) {
+	cases := []struct {
+		name, value string
+	}{
+		{"NaN", "NaN"},
+		{"negative", "-0.5"},
+		{"above one", "1.5"},
+		{"positive infinity", "Inf"},
+		{"negative infinity", "-Inf"},
+	}
+	for _, c := range cases {
+		data := "a,_confidence\n1,0.5\n2," + c.value + "\n"
+		n, err := loadCSVString(t, data)
+		if err == nil {
+			t.Errorf("%s confidence accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("%s: error %q does not name the offending row", c.name, err)
+		}
+		if n != 1 {
+			t.Errorf("%s: %d rows loaded before the error, want 1", c.name, n)
+		}
+	}
+}
+
+func TestLoadCSVRejectsBadCostRate(t *testing.T) {
+	for _, v := range []string{"NaN", "-3", "Inf", "-Inf"} {
+		data := "a,_confidence,_cost_rate\n1,0.5,10\n2,0.5," + v + "\n"
+		_, err := loadCSVString(t, data)
+		if err == nil {
+			t.Errorf("cost rate %q accepted", v)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("cost rate %q: error %q does not name the offending row", v, err)
+		}
+	}
+}
+
+func TestLoadCSVAcceptsBoundaryValues(t *testing.T) {
+	data := "a,_confidence,_cost_rate\n1,0,0\n2,1,100\n3,0.5,\n"
+	n, err := loadCSVString(t, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows, want 3", n)
+	}
+}
+
+func TestInsertRejectsNaNConfidence(t *testing.T) {
+	c := NewCatalog()
+	tab, err := c.CreateTable("T", NewSchema(Column{Name: "a", Type: TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert([]Value{Int(1)}, math.NaN(), cost.Linear{Rate: 1}); err == nil {
+		t.Fatal("NaN confidence accepted by Insert")
+	}
+}

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 
 	"pcqe/internal/cost"
 	"pcqe/internal/lineage"
@@ -65,7 +66,7 @@ func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*B
 				t.Name, t.schema.Columns[i].Name, want, v.Type())
 		}
 	}
-	if confidence < 0 || confidence > 1 {
+	if math.IsNaN(confidence) || confidence < 0 || confidence > 1 {
 		return nil, fmt.Errorf("relation: confidence %g outside [0,1]", confidence)
 	}
 	row := &BaseTuple{

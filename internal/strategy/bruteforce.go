@@ -1,8 +1,11 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"pcqe/internal/fault"
 )
 
 // BruteForce exhaustively enumerates every δ-grid assignment and returns
@@ -19,10 +22,26 @@ func (b *BruteForce) Name() string { return "brute-force" }
 
 // Solve implements Solver.
 func (b *BruteForce) Solve(in *Instance) (*Plan, error) {
+	return b.SolveContext(context.Background(), in, Budget{})
+}
+
+// SolveContext implements ContextSolver. The enumeration is anytime:
+// interruption returns the best feasible assignment found so far
+// (tagged Plan.Partial) with a *BudgetExceededError. Each enumerated
+// assignment counts against Budget.MaxNodes.
+func (b *BruteForce) SolveContext(ctx context.Context, in *Instance, bud Budget) (plan *Plan, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	if !feasible(in, false) {
+	bs, cancel := newBudgetState(b.Name(), ctx, bud)
+	defer cancel()
+	var best *Plan
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = solveRecover(r, b.Name(), in, best)
+		}
+	}()
+	if newEvaluatorCtx(in, false, bs).satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
 	limit := b.MaxAssignments
@@ -52,13 +71,14 @@ func (b *BruteForce) Solve(in *Instance) (*Plan, error) {
 		}
 	}
 
-	e := newEvaluator(in)
-	var best *Plan
+	e := newEvaluatorCtx(in, false, bs)
 	bestCost := math.Inf(1)
 	nodes := 0
 	idx := make([]int, len(in.Base))
 	for {
 		nodes++
+		fault.Probe(SiteBruteForce)
+		bs.node()
 		if e.nSat >= in.Need {
 			if c := e.totalCost(); c < bestCost {
 				best = e.plan(nodes)

@@ -1,0 +1,326 @@
+package strategy
+
+// This file implements the resilient solver runtime: wall-clock and
+// work budgets, cooperative cancellation, and the anytime contract.
+//
+// The strategy-finding problem is NP-hard and exact confidence
+// computation over lineage is #P-hard, so every solver here can be made
+// to run arbitrarily long by an adversarial (or merely large) instance.
+// SolveContext bounds a solve with a context and a Budget; the solvers
+// poll cheap checkpoints inside their hot loops (DFS node expansions,
+// greedy gain picks, δ-step applications, Shannon pivot enumerations in
+// compiled lineage programs) and, on exhaustion, unwind to the solver
+// boundary via a budgetStop panic. The boundary converts the unwind
+// into the anytime contract: the best incumbent plan found so far —
+// always a consistent snapshot that passes Instance.Verify — tagged
+// Plan.Partial, together with a typed *BudgetExceededError naming the
+// resource that ran out. Real panics (bugs, injected faults) are
+// likewise recovered at the boundary and converted to a typed
+// *SolverPanicError carrying the solver name and an instance
+// fingerprint, so one poisoned sub-problem cannot kill a process.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Budget bounds the work one solve may perform. The zero value means
+// unlimited. All limits are cooperative: solvers poll them at
+// checkpoints, so a solve returns within one checkpoint interval (not
+// one instruction) of exhaustion.
+type Budget struct {
+	// Timeout is the wall-clock allowance; it combines with any deadline
+	// already on the context (the earlier one wins). 0 = none.
+	Timeout time.Duration
+	// MaxNodes bounds branch-and-bound node expansions (heuristic DFS
+	// and brute-force assignments). 0 = unlimited.
+	MaxNodes int
+	// MaxPivots bounds Shannon pivot-assignment evaluations performed by
+	// compiled lineage programs across the whole solve. 0 = unlimited.
+	MaxPivots int
+	// MaxSteps bounds δ-grid confidence step applications (greedy
+	// increase/refinement, D&C combination repair). 0 = unlimited.
+	MaxSteps int
+}
+
+// Budget resource names reported by BudgetExceededError.Resource.
+const (
+	ResourceDeadline = "deadline"
+	ResourceCanceled = "canceled"
+	ResourceNodes    = "nodes"
+	ResourcePivots   = "pivots"
+	ResourceSteps    = "steps"
+)
+
+// BudgetExceededError reports that a solve stopped early because a
+// budget resource (or its context) ran out. The accompanying plan, when
+// non-nil, is the solver's best incumbent and passes Instance.Verify.
+type BudgetExceededError struct {
+	// Solver names the algorithm that was interrupted.
+	Solver string
+	// Resource names what ran out: one of the Resource* constants.
+	Resource string
+	// Nodes, Pivots and Steps snapshot the work counters at the stop.
+	Nodes, Pivots, Steps int64
+	// Err is the underlying context error for deadline/cancellation
+	// stops, nil for work-counter stops.
+	Err error
+}
+
+// Error implements error.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("strategy: %s budget exceeded: %s (nodes=%d pivots=%d steps=%d)",
+		e.Solver, e.Resource, e.Nodes, e.Pivots, e.Steps)
+}
+
+// Unwrap exposes the context error so errors.Is(err, context.Canceled)
+// and friends work.
+func (e *BudgetExceededError) Unwrap() error { return e.Err }
+
+// SolverPanicError reports a panic recovered at a solver boundary and
+// converted into an error, so a poisoned instance or an injected fault
+// degrades one solve instead of killing the process.
+type SolverPanicError struct {
+	// Solver names the algorithm (or sub-solve, e.g. a D&C group) that
+	// panicked.
+	Solver string
+	// Fingerprint identifies the instance shape for correlation.
+	Fingerprint string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *SolverPanicError) Error() string {
+	return fmt.Sprintf("strategy: %s panicked on instance %s: %v", e.Solver, e.Fingerprint, e.Value)
+}
+
+// ContextSolver is a Solver with deadline/budget-aware execution. All
+// built-in solvers implement it.
+type ContextSolver interface {
+	Solver
+	// SolveContext computes a plan under ctx and b. On budget or
+	// deadline exhaustion it returns the best incumbent plan so far
+	// (tagged Plan.Partial; nil when none is feasible yet) together with
+	// a *BudgetExceededError, so callers check the error before assuming
+	// optimality and check the plan before assuming total failure.
+	SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error)
+}
+
+// SolveContext runs s under ctx and b. Solvers that do not implement
+// ContextSolver run open-loop via plain Solve (the budget is ignored,
+// but a context that is already done short-circuits).
+func SolveContext(ctx context.Context, s Solver, in *Instance, b Budget) (*Plan, error) {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.SolveContext(ctx, in, b)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Solve(in)
+}
+
+// Fault-injection probe sites (see internal/fault). Every cooperative
+// checkpoint in the solvers doubles as a probe, so tests can inject
+// delays, cancellations and panics at any interruption point.
+const (
+	SiteHeuristicDFS = "strategy.heuristic.dfs"
+	SiteGreedyPhase1 = "strategy.greedy.phase1"
+	SiteGreedyPhase2 = "strategy.greedy.phase2"
+	SiteDnCPartition = "strategy.dnc.partition"
+	SiteDnCGroup     = "strategy.dnc.group"
+	SiteDnCCombine   = "strategy.dnc.combine"
+	SiteDnCFinish    = "strategy.dnc.finish"
+	SiteDnCRefine    = "strategy.dnc.refine"
+	SiteBruteForce   = "strategy.bruteforce.assign"
+	SitePivot        = "strategy.lineage.pivot"
+)
+
+// ProbeSites lists every fault-injection probe site the solvers pass
+// through, for tests that sweep all of them.
+func ProbeSites() []string {
+	return []string{
+		SiteHeuristicDFS, SiteGreedyPhase1, SiteGreedyPhase2,
+		SiteDnCPartition, SiteDnCGroup, SiteDnCCombine, SiteDnCFinish,
+		SiteDnCRefine, SiteBruteForce, SitePivot,
+	}
+}
+
+// budgetStop is the panic value used to unwind a solve to its boundary
+// when a budget resource runs out. It never escapes the strategy
+// package: every SolveContext boundary recovers it.
+type budgetStop struct{ cause *BudgetExceededError }
+
+// budgetState is the shared, concurrency-safe bookkeeping of one solve:
+// work counters, the stop flag, and the first exhaustion cause. A nil
+// *budgetState is valid and means "unbudgeted": every method is a no-op,
+// so the plain Solve path pays nothing.
+type budgetState struct {
+	solver string
+	done   <-chan struct{}
+	ctxErr func() error
+
+	maxNodes, maxPivots, maxSteps int64
+	nodes, pivots, steps          atomic.Int64
+
+	// stopped flips once; all subsequent checkpoints unwind immediately,
+	// which is how exhaustion in one D&C worker goroutine winds down its
+	// siblings. draining suppresses the unwind so a driver can cheaply
+	// assemble its incumbent from already-computed pieces.
+	stopped  atomic.Bool
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	cause *BudgetExceededError
+}
+
+// newBudgetState builds the state for one solve. The returned cancel
+// func must be deferred (it releases the timeout timer). A nil state is
+// returned when neither the budget nor the context can ever interrupt
+// the solve, keeping the unbudgeted path allocation-free.
+func newBudgetState(solver string, ctx context.Context, b Budget) (*budgetState, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if b.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+	}
+	if b.MaxNodes == 0 && b.MaxPivots == 0 && b.MaxSteps == 0 && ctx.Done() == nil {
+		return nil, cancel
+	}
+	return &budgetState{
+		solver:    solver,
+		done:      ctx.Done(),
+		ctxErr:    ctx.Err,
+		maxNodes:  int64(b.MaxNodes),
+		maxPivots: int64(b.MaxPivots),
+		maxSteps:  int64(b.MaxSteps),
+	}, cancel
+}
+
+// poll is the basic cooperative checkpoint: it unwinds if the solve was
+// already stopped or the context is done.
+func (s *budgetState) poll() {
+	if s == nil || s.draining.Load() {
+		return
+	}
+	if s.stopped.Load() {
+		s.fail("", nil)
+	}
+	if s.done != nil {
+		select {
+		case <-s.done:
+			err := s.ctxErr()
+			res := ResourceCanceled
+			if errors.Is(err, context.DeadlineExceeded) {
+				res = ResourceDeadline
+			}
+			s.fail(res, err)
+		default:
+		}
+	}
+}
+
+// node counts one search-node expansion, then polls.
+func (s *budgetState) node() {
+	if s == nil || s.draining.Load() {
+		return
+	}
+	if n := s.nodes.Add(1); s.maxNodes > 0 && n > s.maxNodes {
+		s.fail(ResourceNodes, nil)
+	}
+	s.poll()
+}
+
+// step counts one δ-grid confidence step, then polls.
+func (s *budgetState) step() {
+	if s == nil || s.draining.Load() {
+		return
+	}
+	if n := s.steps.Add(1); s.maxSteps > 0 && n > s.maxSteps {
+		s.fail(ResourceSteps, nil)
+	}
+	s.poll()
+}
+
+// pivot counts n Shannon pivot-assignment evaluations, then polls. It
+// is installed as the lineage Machine pivot hook, so it fires from deep
+// inside formula evaluation — the unwind crosses the evaluator, whose
+// state is then inconsistent and must be discarded (solver boundaries
+// only ever return snapshots, never live evaluator state).
+func (s *budgetState) pivot(n int) {
+	if s == nil || s.draining.Load() {
+		return
+	}
+	if c := s.pivots.Add(int64(n)); s.maxPivots > 0 && c > s.maxPivots {
+		s.fail(ResourcePivots, nil)
+	}
+	s.poll()
+}
+
+// fail records the first exhaustion cause and unwinds the calling
+// goroutine with a budgetStop panic.
+func (s *budgetState) fail(resource string, err error) {
+	s.mu.Lock()
+	if s.cause == nil {
+		if resource == "" {
+			resource = ResourceCanceled
+		}
+		s.cause = &BudgetExceededError{
+			Solver: s.solver, Resource: resource, Err: err,
+			Nodes: s.nodes.Load(), Pivots: s.pivots.Load(), Steps: s.steps.Load(),
+		}
+	}
+	cause := s.cause
+	s.mu.Unlock()
+	s.stopped.Store(true)
+	panic(budgetStop{cause})
+}
+
+// exceeded returns the recorded exhaustion cause, nil while running.
+func (s *budgetState) exceeded() *BudgetExceededError {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cause
+}
+
+// drain puts the state into best-effort mode: checkpoints stop
+// unwinding, so a driver that already hit the budget can still combine
+// the finished pieces into an incumbent (bounded leftover work only).
+func (s *budgetState) drain() {
+	if s != nil {
+		s.draining.Store(true)
+	}
+}
+
+// solveRecover converts a recovered panic at a solver boundary into the
+// anytime contract: budget unwinds yield (incumbent tagged Partial,
+// *BudgetExceededError); anything else yields (nil, *SolverPanicError).
+func solveRecover(r any, solver string, in *Instance, incumbent *Plan) (*Plan, error) {
+	if stop, ok := r.(budgetStop); ok {
+		if incumbent != nil {
+			incumbent.Partial = true
+			return incumbent, stop.cause
+		}
+		return nil, stop.cause
+	}
+	return nil, &SolverPanicError{
+		Solver:      solver,
+		Fingerprint: in.Fingerprint(),
+		Value:       r,
+		Stack:       debug.Stack(),
+	}
+}

@@ -1,0 +1,497 @@
+package strategy
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"pcqe/internal/cost"
+	"pcqe/internal/fault"
+	"pcqe/internal/lineage"
+)
+
+// contextSolverMakers builds fresh instances of every budget-aware
+// solver configuration the runtime tests exercise.
+func contextSolverMakers() []func() ContextSolver {
+	return []func() ContextSolver{
+		func() ContextSolver { return &Greedy{} },
+		func() ContextSolver { return &Greedy{Incremental: true} },
+		func() ContextSolver { return NewHeuristic() },
+		func() ContextSolver { return NewDivideAndConquer() },
+		func() ContextSolver {
+			d := NewDivideAndConquer()
+			d.Parallel = true
+			return d
+		},
+		func() ContextSolver { return &BruteForce{} },
+	}
+}
+
+// adversarialInstance builds a ring of AND pairs under one OR: every
+// base tuple is shared between two conjuncts, so each probability
+// evaluation enumerates 2^n Shannon pivot assignments (n=14 keeps the
+// formula on the compiled path, whose pivot hook polls the budget). A
+// fine δ grid and a high β force hundreds of such evaluations, so an
+// uninterrupted solve takes orders of magnitude longer than the test
+// deadline — which is exactly what the anytime runtime must handle.
+func adversarialInstance(n int) *Instance {
+	in := &Instance{Beta: 0.95, Delta: 0.02, Need: 1}
+	for i := 0; i < n; i++ {
+		in.Base = append(in.Base, BaseTuple{
+			Var:  lineage.Var(i + 1),
+			P:    0.3,
+			Cost: cost.Linear{Rate: 1 + float64(i)},
+		})
+	}
+	terms := make([]*lineage.Expr, n)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		terms[i] = lineage.And(lineage.NewVar(lineage.Var(i+1)), lineage.NewVar(lineage.Var(j+1)))
+	}
+	in.Results = []Result{{ID: 0, Formula: lineage.Or(terms...)}}
+	return in
+}
+
+// sweepInstance is a moderate multi-result instance with shared
+// variables (pivot enumeration), multiple greedy steps, a non-trivial
+// partition and a refinement phase — it drives the solvers through
+// every probe site the fault sweep can reach.
+func sweepInstance() *Instance {
+	v := func(i int) *lineage.Expr { return lineage.NewVar(lineage.Var(i)) }
+	in := &Instance{Beta: 0.6, Delta: 0.1, Need: 3}
+	rates := []float64{40, 10, 25, 15, 30, 20}
+	for i, r := range rates {
+		in.Base = append(in.Base, BaseTuple{Var: lineage.Var(i + 1), P: 0.3, Cost: cost.Linear{Rate: r}})
+	}
+	in.Results = []Result{
+		{ID: 0, Formula: lineage.Or(lineage.And(v(1), v(2)), lineage.And(v(2), v(3)))},
+		{ID: 1, Formula: lineage.And(v(3), v(4))},
+		{ID: 2, Formula: lineage.Or(lineage.And(v(4), v(5)), lineage.And(v(5), v(6)))},
+		{ID: 3, Formula: lineage.And(v(1), v(6))},
+	}
+	return in
+}
+
+func isBudgetErr(err error) bool {
+	var bx *BudgetExceededError
+	return errors.As(err, &bx)
+}
+
+func TestDeadlineReturnsPromptly(t *testing.T) {
+	const timeout = 30 * time.Millisecond
+	// Grace covers checkpoint granularity plus scheduler noise under
+	// -race; it is far below what an uninterrupted solve would take
+	// (many seconds of 2^18-pivot evaluations).
+	const grace = 1500 * time.Millisecond
+	for _, mk := range contextSolverMakers() {
+		s := mk()
+		if _, ok := s.(*BruteForce); ok {
+			continue // refuses the instance by size before any work
+		}
+		in := adversarialInstance(14)
+		start := time.Now()
+		plan, err := s.SolveContext(context.Background(), in, Budget{Timeout: timeout})
+		elapsed := time.Since(start)
+		if elapsed > timeout+grace {
+			t.Errorf("%s: returned after %v, budget was %v", s.Name(), elapsed, timeout)
+		}
+		if err == nil {
+			t.Errorf("%s: expected a budget error on the adversarial instance", s.Name())
+			continue
+		}
+		if !isBudgetErr(err) {
+			t.Errorf("%s: err = %T %v, want *BudgetExceededError", s.Name(), err, err)
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: error should unwrap to context.DeadlineExceeded, got %v", s.Name(), err)
+		}
+		if plan != nil {
+			if !plan.Partial {
+				t.Errorf("%s: incumbent plan not tagged Partial", s.Name())
+			}
+			if verr := in.Verify(plan); verr != nil {
+				t.Errorf("%s: incumbent fails Verify: %v", s.Name(), verr)
+			}
+		}
+	}
+}
+
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mk := range contextSolverMakers() {
+		s := mk()
+		plan, err := s.SolveContext(ctx, sweepInstance(), Budget{})
+		if err == nil {
+			t.Errorf("%s: expected an error under a canceled context", s.Name())
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want to unwrap context.Canceled", s.Name(), err)
+		}
+		if plan != nil {
+			if verr := sweepInstance().Verify(plan); verr != nil {
+				t.Errorf("%s: plan fails Verify: %v", s.Name(), verr)
+			}
+		}
+	}
+}
+
+func TestBudgetMaxNodes(t *testing.T) {
+	// Without the greedy seed there is no incumbent before the DFS
+	// finds its first solution, so a tiny node budget yields a bare
+	// typed error.
+	h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true}
+	plan, err := h.SolveContext(context.Background(), sweepInstance(), Budget{MaxNodes: 1})
+	var bx *BudgetExceededError
+	if !errors.As(err, &bx) {
+		t.Fatalf("err = %v, want *BudgetExceededError", err)
+	}
+	if bx.Resource != ResourceNodes {
+		t.Fatalf("resource = %q, want %q", bx.Resource, ResourceNodes)
+	}
+	if bx.Solver != h.Name() {
+		t.Fatalf("solver = %q", bx.Solver)
+	}
+	if plan != nil {
+		t.Fatalf("no incumbent can exist after one node, got %+v", plan)
+	}
+}
+
+func TestBudgetMaxNodesAnytimeIncumbent(t *testing.T) {
+	// With the greedy seed the incumbent exists before the DFS starts:
+	// exhausting the node budget returns it, tagged Partial.
+	in := paperInstance()
+	plan, err := NewHeuristic().SolveContext(context.Background(), in, Budget{MaxNodes: 1})
+	var bx *BudgetExceededError
+	if !errors.As(err, &bx) || bx.Resource != ResourceNodes {
+		t.Fatalf("err = %v, want nodes budget error", err)
+	}
+	if plan == nil {
+		t.Fatal("expected the greedy-seed incumbent")
+	}
+	if !plan.Partial {
+		t.Fatal("incumbent not tagged Partial")
+	}
+	if verr := in.Verify(plan); verr != nil {
+		t.Fatalf("incumbent fails Verify: %v", verr)
+	}
+	if math.Abs(plan.Cost-10) > 1e-9 {
+		t.Fatalf("incumbent cost = %v, want the greedy solution's 10", plan.Cost)
+	}
+}
+
+func TestBudgetMaxSteps(t *testing.T) {
+	// paperInstance needs one phase-1 step; the first phase-2 probe step
+	// busts MaxSteps=1, so greedy returns the feasible phase-1 snapshot.
+	in := paperInstance()
+	plan, err := (&Greedy{}).SolveContext(context.Background(), in, Budget{MaxSteps: 1})
+	var bx *BudgetExceededError
+	if !errors.As(err, &bx) || bx.Resource != ResourceSteps {
+		t.Fatalf("err = %v, want steps budget error", err)
+	}
+	if plan == nil || !plan.Partial {
+		t.Fatalf("plan = %+v, want a Partial phase-1 snapshot", plan)
+	}
+	if verr := in.Verify(plan); verr != nil {
+		t.Fatalf("snapshot fails Verify: %v", verr)
+	}
+}
+
+func TestBudgetMaxPivots(t *testing.T) {
+	// sweepInstance's formulas have shared variables, so every
+	// evaluation runs Shannon pivots; a one-pivot budget dies during the
+	// initial feasibility evaluation, before any incumbent exists.
+	plan, err := (&Greedy{}).SolveContext(context.Background(), sweepInstance(), Budget{MaxPivots: 1})
+	var bx *BudgetExceededError
+	if !errors.As(err, &bx) || bx.Resource != ResourcePivots {
+		t.Fatalf("err = %v, want pivots budget error", err)
+	}
+	if bx.Pivots < 1 {
+		t.Fatalf("pivot counter = %d", bx.Pivots)
+	}
+	if plan != nil {
+		t.Fatalf("no incumbent can exist yet, got %+v", plan)
+	}
+}
+
+// TestFaultSweepCancellation injects a context cancellation at every
+// probe site, for every solver, and asserts the anytime contract: no
+// panic escapes, the error (if any) is a typed *BudgetExceededError,
+// any returned plan passes Verify, and no goroutine leaks.
+func TestFaultSweepCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, site := range ProbeSites() {
+		for _, mk := range contextSolverMakers() {
+			s := mk()
+			in := sweepInstance()
+			ctx, cancel := context.WithCancel(context.Background())
+			fault.Reset()
+			fault.Enable()
+			fault.Register(site, func() { cancel() })
+			plan, err := s.SolveContext(ctx, in, Budget{})
+			hit := fault.Hits(site) > 0
+			fault.Reset()
+			cancel()
+			if !hit {
+				continue // this solver never passes this site
+			}
+			if err != nil && !isBudgetErr(err) {
+				t.Errorf("%s @ %s: err = %T %v, want *BudgetExceededError or nil", s.Name(), site, err, err)
+			}
+			if plan != nil {
+				if verr := in.Verify(plan); verr != nil {
+					t.Errorf("%s @ %s: plan fails Verify: %v", s.Name(), site, verr)
+				}
+			}
+			if plan == nil && err == nil {
+				t.Errorf("%s @ %s: nil plan and nil error", s.Name(), site)
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before sweep, %d after", before, g)
+	}
+}
+
+// TestFaultSweepPanic injects a real panic at every probe site and
+// asserts it never escapes a solver boundary: the result is either a
+// typed *SolverPanicError or (for D&C, whose group boundary isolates
+// the fault) a degraded-but-valid plan.
+func TestFaultSweepPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for _, site := range ProbeSites() {
+		for _, mk := range contextSolverMakers() {
+			s := mk()
+			in := sweepInstance()
+			fault.Reset()
+			fault.Enable()
+			first := true
+			fault.Register(site, func() {
+				if first {
+					first = false
+					panic("injected fault at " + site)
+				}
+			})
+			plan, err := func() (p *Plan, e error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s @ %s: panic escaped the solver boundary: %v", s.Name(), site, r)
+					}
+				}()
+				return s.SolveContext(context.Background(), in, Budget{})
+			}()
+			hit := fault.Hits(site) > 0
+			fault.Reset()
+			if !hit {
+				continue
+			}
+			var px *SolverPanicError
+			switch {
+			case err == nil:
+				// D&C isolated the fault; the plan must record it.
+				if plan == nil {
+					t.Errorf("%s @ %s: nil plan and nil error after injected panic", s.Name(), site)
+				} else if plan.Degraded == 0 {
+					t.Errorf("%s @ %s: fault absorbed without Degraded accounting", s.Name(), site)
+				}
+			case errors.As(err, &px):
+				if px.Fingerprint == "" {
+					t.Errorf("%s @ %s: panic error missing instance fingerprint", s.Name(), site)
+				}
+			case isBudgetErr(err), errors.Is(err, ErrInfeasible):
+				// A degraded group can make the remaining combination
+				// infeasible, or the panic surfaced via a group error
+				// that the driver converted. Acceptable.
+			default:
+				t.Errorf("%s @ %s: err = %T %v", s.Name(), site, err, err)
+			}
+			if plan != nil {
+				if verr := in.Verify(plan); verr != nil {
+					t.Errorf("%s @ %s: plan fails Verify: %v", s.Name(), site, verr)
+				}
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before sweep, %d after", before, g)
+	}
+}
+
+func TestDnCParallelPanicDegradesGracefully(t *testing.T) {
+	d := NewDivideAndConquer()
+	d.Parallel = true
+	in := sweepInstance()
+	fault.Reset()
+	fault.Enable()
+	defer fault.Reset()
+	fault.Register(SiteGreedyPhase1, func() { panic("injected group fault") })
+	plan, err := d.SolveContext(context.Background(), in, Budget{})
+	if err != nil {
+		t.Fatalf("driver must absorb group panics, got %v", err)
+	}
+	if plan == nil {
+		t.Fatal("expected a degraded plan")
+	}
+	if plan.Degraded < 1 {
+		t.Fatalf("Degraded = %d, want ≥ 1", plan.Degraded)
+	}
+	if !plan.Partial {
+		t.Fatal("degraded plan not tagged Partial")
+	}
+	if verr := in.Verify(plan); verr != nil {
+		t.Fatalf("degraded plan fails Verify: %v", verr)
+	}
+}
+
+func TestGreedyPanicBecomesTypedError(t *testing.T) {
+	fault.Reset()
+	fault.Enable()
+	defer fault.Reset()
+	fault.Register(SiteGreedyPhase1, func() { panic("injected") })
+	plan, err := (&Greedy{}).SolveContext(context.Background(), sweepInstance(), Budget{})
+	var px *SolverPanicError
+	if !errors.As(err, &px) {
+		t.Fatalf("err = %T %v, want *SolverPanicError", err, err)
+	}
+	if px.Solver != "greedy" || px.Fingerprint == "" || len(px.Stack) == 0 {
+		t.Fatalf("panic error incomplete: %+v", px)
+	}
+	if plan != nil {
+		t.Fatal("no plan should survive a phase-1 panic")
+	}
+}
+
+func TestAnytimeCostMonotonic(t *testing.T) {
+	// A partial (interrupted) plan never costs less than the completed
+	// solve of the same deterministic algorithm: refinement only removes
+	// cost.
+	r := rand.New(rand.NewSource(211))
+	checked := 0
+	for i := 0; i < 60; i++ {
+		in := randomInstance(r)
+		full, err := (&Greedy{}).Solve(in)
+		if err != nil {
+			continue
+		}
+		for _, maxSteps := range []int{1, 2, 3, 5, 8} {
+			p, perr := (&Greedy{}).SolveContext(context.Background(), in, Budget{MaxSteps: maxSteps})
+			if p == nil {
+				continue // interrupted before feasibility
+			}
+			if verr := in.Verify(p); verr != nil {
+				t.Fatalf("budgeted plan fails Verify: %v", verr)
+			}
+			eps := 1e-9 * (1 + full.Cost)
+			if perr != nil {
+				checked++
+				if p.Cost < full.Cost-eps {
+					t.Fatalf("partial plan (steps=%d) cost %v below completed cost %v", maxSteps, p.Cost, full.Cost)
+				}
+			} else if math.Abs(p.Cost-full.Cost) > eps {
+				t.Fatalf("uninterrupted budgeted solve diverged: %v vs %v", p.Cost, full.Cost)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no partial plans were produced; budgets too loose for the test to mean anything")
+	}
+}
+
+func TestBudgetedSolversPropertySafety(t *testing.T) {
+	// Random instances through every solver under random tiny budgets:
+	// the outcome is always one of {complete plan, partial plan +
+	// budget error, bare budget error, infeasible} and every returned
+	// plan verifies.
+	r := rand.New(rand.NewSource(223))
+	for i := 0; i < 120; i++ {
+		in := randomInstance(r)
+		b := Budget{
+			MaxNodes:  r.Intn(20),
+			MaxSteps:  r.Intn(10),
+			MaxPivots: r.Intn(200),
+		}
+		for _, mk := range contextSolverMakers() {
+			s := mk()
+			plan, err := s.SolveContext(context.Background(), in, b)
+			switch {
+			case err == nil, errors.Is(err, ErrInfeasible), isBudgetErr(err):
+			default:
+				t.Fatalf("%s budget=%+v: unexpected error %T %v", s.Name(), b, err, err)
+			}
+			if plan != nil {
+				if verr := in.Verify(plan); verr != nil {
+					t.Fatalf("%s budget=%+v: plan fails Verify: %v", s.Name(), b, verr)
+				}
+			}
+			if plan == nil && err == nil {
+				t.Fatalf("%s budget=%+v: nil plan and nil error", s.Name(), b)
+			}
+		}
+	}
+}
+
+func FuzzSolveBudget(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(5), uint8(2), uint8(50))
+	f.Add(int64(-3), uint8(200), uint8(100), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, nodes, steps, pivots uint8) {
+		in := randomInstance(rand.New(rand.NewSource(seed)))
+		b := Budget{MaxNodes: int(nodes), MaxSteps: int(steps), MaxPivots: int(pivots)}
+		for _, mk := range contextSolverMakers() {
+			s := mk()
+			plan, err := s.SolveContext(context.Background(), in, b)
+			switch {
+			case err == nil, errors.Is(err, ErrInfeasible), isBudgetErr(err):
+			default:
+				t.Fatalf("%s: unexpected error %T %v", s.Name(), err, err)
+			}
+			if plan != nil {
+				if verr := in.Verify(plan); verr != nil {
+					t.Fatalf("%s: plan fails Verify: %v", s.Name(), verr)
+				}
+			}
+		}
+	})
+}
+
+// plainSolver implements only the legacy Solver interface, to test the
+// SolveContext dispatch fallback.
+type plainSolver struct{ called bool }
+
+func (p *plainSolver) Name() string { return "plain" }
+func (p *plainSolver) Solve(in *Instance) (*Plan, error) {
+	p.called = true
+	return (&Greedy{}).Solve(in)
+}
+
+func TestSolveContextFallback(t *testing.T) {
+	in := paperInstance()
+	s := &plainSolver{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, s, in, Budget{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v", err)
+	}
+	if s.called {
+		t.Fatal("Solve ran despite a canceled context")
+	}
+	plan, err := SolveContext(context.Background(), s, in, Budget{})
+	if err != nil || plan == nil || !s.called {
+		t.Fatalf("fallback: plan=%v err=%v called=%v", plan, err, s.called)
+	}
+}

@@ -1,9 +1,14 @@
 package strategy
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+
+	"pcqe/internal/fault"
 )
 
 // DivideAndConquer is the paper's scalable algorithm (Section 4.3): it
@@ -62,10 +67,35 @@ func (d *DivideAndConquer) Name() string { return "divide-and-conquer" }
 
 // Solve implements Solver.
 func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
+	return d.SolveContext(context.Background(), in, Budget{})
+}
+
+// SolveContext implements ContextSolver. The driver degrades
+// gracefully: a group sub-solve that panics or exhausts the budget is
+// isolated (recovered at the group boundary, converted to a typed
+// error, counted in Plan.Degraded) while the remaining groups still
+// solve; if the combined state of the surviving groups satisfies the
+// instance, the plan is returned tagged Plan.Partial alongside any
+// budget error.
+func (d *DivideAndConquer) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEvaluatorMode(in, d.TreeWalk)
+	bs, cancel := newBudgetState(d.Name(), ctx, b)
+	defer cancel()
+	return d.solveBudget(in, bs)
+}
+
+// solveBudget runs the divide-and-conquer driver under an existing
+// budget state, owning the recovery boundary.
+func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
+	var incumbent *Plan
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = solveRecover(r, d.Name(), in, incumbent)
+		}
+	}()
+	e := newEvaluatorCtx(in, d.TreeWalk, bs)
 	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
@@ -74,7 +104,7 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 		gamma = 1
 	}
 
-	groups := Partition(in, gamma, d.MaxGroupResults)
+	groups := partitionBudget(in, gamma, d.MaxGroupResults, bs)
 	nodes := 0
 	totalNeed := in.Need - e.nSat
 	if totalNeed <= 0 {
@@ -104,9 +134,11 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 		mapping []int
 		plan    *Plan
 		nodes   int
+		err     error // budget/panic degradation of this group's solve
 	}
 	tasks := make([]*groupTask, 0, len(groups))
 	for _, g := range groups {
+		bs.poll()
 		sub, mapping := g.subInstance(in)
 		// Already-satisfied group results come for free and still count
 		// toward the sub-instance's satisfied set, so the sub-need is
@@ -129,7 +161,7 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 		sub.Need = free + need
 		// One evaluator serves both the feasibility check and (when the
 		// target must be lowered) the satisfiable maximum.
-		if max := newEvaluatorMode(sub, d.TreeWalk).satAtMax(); max < sub.Need {
+		if max := newEvaluatorCtx(sub, d.TreeWalk, bs).satAtMax(); max < sub.Need {
 			// Lower the group's target to what it can actually deliver.
 			if max <= free {
 				continue
@@ -159,7 +191,10 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 		go func() {
 			defer wg.Done()
 			for t := range queue {
-				t.plan, t.nodes = d.solveGroup(t.sub)
+				// solveGroup never panics: both budget unwinds and real
+				// panics are recovered at the group boundary, so one bad
+				// group cannot kill a worker (or leak its siblings).
+				t.plan, t.nodes, t.err = d.solveGroup(t.sub, bs)
 			}
 		}()
 	}
@@ -169,9 +204,24 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 	close(queue)
 	wg.Wait()
 
+	// If the budget ran out during the group solves, switch to
+	// best-effort mode: checkpoints stop unwinding so the (cheap,
+	// bounded) combination below can still assemble an incumbent from
+	// the groups that did finish.
+	cause := bs.exceeded()
+	if cause != nil {
+		bs.drain()
+	}
+
 	// Combine in deterministic order: maximum confidence per tuple.
+	degraded := 0
 	for _, t := range tasks {
+		fault.Probe(SiteDnCCombine)
+		bs.poll()
 		nodes += t.nodes
+		if t.err != nil {
+			degraded++
+		}
 		if t.plan == nil {
 			continue
 		}
@@ -186,57 +236,141 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 	}
 
 	if e.nSat < in.Need {
+		if cause != nil {
+			// Out of budget with an infeasible combined state: there is
+			// no incumbent to return.
+			return nil, cause
+		}
 		// Groups under-delivered (can happen when a result's tuples were
-		// split by the γ threshold). Fall back to global greedy from the
-		// combined state.
-		if !finishGreedy(in, e) {
+		// split by the γ threshold, or because degraded groups were
+		// skipped). Fall back to global greedy from the combined state.
+		if !finishGreedy(in, e, bs) {
 			return nil, ErrInfeasible
 		}
 	}
 
+	// The combined state is feasible: snapshot it before refinement so a
+	// budget unwind during refinement still returns a valid plan.
+	incumbent = e.plan(nodes)
+	incumbent.Degraded = degraded
+	if cause != nil {
+		// Already out of budget: return the unrefined combination rather
+		// than spending further over the deadline on refinement.
+		incumbent.Partial = true
+		return incumbent, cause
+	}
+
 	// Refinement: like greedy phase 2, undo increments the combination
 	// made unnecessary, cheapest-contribution first.
-	refine(in, e)
+	refine(in, e, bs)
 
 	p := e.plan(nodes)
+	p.Degraded = degraded
+	if degraded > 0 {
+		p.Partial = true
+	}
 	return p, nil
 }
 
 // solveGroup solves one sub-instance: greedy always, plus an exact
 // greedy-seeded heuristic search when the group is small (< τ tuples).
-// It returns (nil, nodes) when the group cannot be solved.
-func (d *DivideAndConquer) solveGroup(sub *Instance) (*Plan, int) {
+// It is the isolation boundary of the divide-and-conquer driver: budget
+// unwinds and panics inside the group are recovered here and reported
+// as a typed error, so sibling groups keep solving. It returns
+// (nil, 0, nil) when the group is plainly infeasible, and a non-nil
+// plan with a non-nil error when the group degraded but the cheaper
+// fallback (greedy without refinement, or greedy instead of the exact
+// search) still produced a usable plan.
+func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState) (plan *Plan, nodes int, gerr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if stop, ok := r.(budgetStop); ok {
+				plan, nodes, gerr = nil, 0, stop.cause
+				return
+			}
+			plan, nodes, gerr = nil, 0, &SolverPanicError{
+				Solver:      d.Name() + "/group",
+				Fingerprint: sub.Fingerprint(),
+				Value:       r,
+				Stack:       debug.Stack(),
+			}
+		}
+	}()
+	fault.Probe(SiteDnCGroup)
+	bs.poll()
 	// Incremental gain maintenance is the default for group solves: the
 	// plan is identical to the full rescan's (asserted by tests) and the
 	// dirty-propagation loop is strictly faster.
-	plan, err := (&Greedy{Incremental: true, TreeWalk: d.TreeWalk}).Solve(sub)
+	plan, err := (&Greedy{Incremental: true, TreeWalk: d.TreeWalk}).solveBudget(sub, bs)
 	if err != nil {
-		return nil, 0
+		var bx *BudgetExceededError
+		if errors.As(err, &bx) && plan != nil {
+			// Anytime greedy result: feasible for the group, just not
+			// refined. Use it and report the degradation.
+			return plan, plan.Nodes, err
+		}
+		if errors.Is(err, ErrInfeasible) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
 	}
-	nodes := plan.Nodes
+	nodes = plan.Nodes
 	if d.Tau > 0 && len(sub.Base) < d.Tau {
-		h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, TreeWalk: d.TreeWalk}
-		hs := &heuristicSearch{Heuristic: h, in: sub, e: newEvaluatorMode(sub, d.TreeWalk), bestCost: plan.Cost, best: plan}
-		hs.order = make([]int, len(sub.Base))
-		for i := range hs.order {
-			hs.order[i] = i
+		hp, hnodes, herr := d.groupHeuristic(sub, plan, bs)
+		nodes += hnodes
+		if herr != nil {
+			// Graceful fallback: the exact search failed or ran out of
+			// budget, keep the greedy plan and report the degradation.
+			return plan, nodes, herr
 		}
-		cb := costBetas(sub, d.TreeWalk)
-		sort.SliceStable(hs.order, func(a, b int) bool { return cb[hs.order[a]] > cb[hs.order[b]] })
-		hs.prepare()
-		hs.dfs(0, 0)
-		nodes += hs.nodes
-		if hs.best != nil && hs.best.Cost <= plan.Cost {
-			plan = hs.best
+		if hp != nil && hp.Cost <= plan.Cost {
+			plan = hp
 		}
 	}
-	return plan, nodes
+	return plan, nodes, nil
+}
+
+// groupHeuristic runs the greedy-seeded exact search on a small group,
+// recovering budget unwinds and panics so the caller can fall back to
+// the greedy plan.
+func (d *DivideAndConquer) groupHeuristic(sub *Instance, seed *Plan, bs *budgetState) (plan *Plan, nodes int, err error) {
+	var hs *heuristicSearch
+	defer func() {
+		if r := recover(); r != nil {
+			if hs != nil {
+				nodes = hs.nodes
+			}
+			if stop, ok := r.(budgetStop); ok {
+				plan, err = nil, stop.cause
+				return
+			}
+			plan, err = nil, &SolverPanicError{
+				Solver:      "heuristic/group",
+				Fingerprint: sub.Fingerprint(),
+				Value:       r,
+				Stack:       debug.Stack(),
+			}
+		}
+	}()
+	h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, TreeWalk: d.TreeWalk}
+	hs = &heuristicSearch{Heuristic: h, in: sub, bs: bs, e: newEvaluatorCtx(sub, d.TreeWalk, bs), bestCost: seed.Cost, best: seed}
+	hs.order = make([]int, len(sub.Base))
+	for i := range hs.order {
+		hs.order[i] = i
+	}
+	cb := costBetas(sub, d.TreeWalk, bs)
+	sort.SliceStable(hs.order, func(a, b int) bool { return cb[hs.order[a]] > cb[hs.order[b]] })
+	hs.prepare()
+	hs.dfs(0, 0)
+	return hs.best, hs.nodes, nil
 }
 
 // finishGreedy runs greedy phase-1 steps on the global instance from the
 // evaluator's current state until Need is met. Returns false if stuck.
-func finishGreedy(in *Instance, e *evaluator) bool {
+func finishGreedy(in *Instance, e *evaluator, bs *budgetState) bool {
 	for e.nSat < in.Need {
+		fault.Probe(SiteDnCFinish)
+		bs.poll()
 		pick, best := -1, 0.0
 		for bi, b := range in.Base {
 			next := stepUp(b, in.Delta, e.p[bi])
@@ -262,6 +396,7 @@ func finishGreedy(in *Instance, e *evaluator) bool {
 		if next == e.p[pick] {
 			return false
 		}
+		bs.step()
 		e.setP(pick, next)
 	}
 	return true
@@ -270,7 +405,7 @@ func finishGreedy(in *Instance, e *evaluator) bool {
 // refine lowers raised tuples by δ steps while the requirement stays
 // met, walking tuples in ascending order of (raised amount × unit cost)
 // so the least valuable increments are reclaimed first.
-func refine(in *Instance, e *evaluator) {
+func refine(in *Instance, e *evaluator, bs *budgetState) {
 	raised := make([]int, 0)
 	for bi, b := range in.Base {
 		if e.p[bi] > b.P+1e-12 {
@@ -287,6 +422,9 @@ func refine(in *Instance, e *evaluator) {
 	})
 	for _, bi := range raised {
 		for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+			fault.Probe(SiteDnCRefine)
+			bs.poll()
+			bs.step()
 			prev := e.p[bi]
 			next := stepDown(in.Base[bi], in.Delta, prev)
 			e.setP(bi, next)
@@ -310,6 +448,13 @@ type Group struct {
 // falls below gamma. maxResults, when positive, blocks merges that would
 // produce a group with more results than the cap.
 func Partition(in *Instance, gamma, maxResults int) []Group {
+	return partitionBudget(in, gamma, maxResults, nil)
+}
+
+// partitionBudget is Partition with cooperative cancellation: the merge
+// loop (quadratic in groups for dense sharing graphs) polls bs once per
+// merge round.
+func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Group {
 	n := len(in.Results)
 	varIdx := map[int]int{}
 	for i, b := range in.Base {
@@ -367,6 +512,8 @@ func Partition(in *Instance, gamma, maxResults int) []Group {
 	// maintained lazily: recompute from surviving result edges.
 	type gedge struct{ a, b int }
 	for {
+		fault.Probe(SiteDnCPartition)
+		bs.poll()
 		gw := map[gedge]int{}
 		for e2, w := range weight {
 			ra, rb := find(e2.a), find(e2.b)

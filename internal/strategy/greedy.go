@@ -1,7 +1,10 @@
 package strategy
 
 import (
+	"context"
 	"sort"
+
+	"pcqe/internal/fault"
 )
 
 // Greedy is the paper's two-phase greedy algorithm (Section 4.2,
@@ -106,14 +109,52 @@ func (h *gainHeap) popTop() gainEntry {
 
 // Solve implements Solver.
 func (g *Greedy) Solve(in *Instance) (*Plan, error) {
+	return g.SolveContext(context.Background(), in, Budget{})
+}
+
+// SolveContext implements ContextSolver. Greedy is anytime from the end
+// of phase 1 onward: once the aggressive increase phase has satisfied
+// the requirement, every further interruption returns the latest
+// feasible snapshot (tagged Plan.Partial, missing only refinement)
+// together with a *BudgetExceededError; interruption during phase 1
+// returns (nil, *BudgetExceededError) since no feasible plan exists yet.
+func (g *Greedy) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
+	bs, cancel := newBudgetState(g.Name(), ctx, b)
+	defer cancel()
+	return g.solveBudget(in, bs)
+}
+
+// solveBudget runs the algorithm under an existing budget state, owning
+// the recovery boundary.
+func (g *Greedy) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
+	var incumbent *Plan
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = solveRecover(r, g.Name(), in, incumbent)
+		}
+	}()
+	return g.solveCore(in, bs, &incumbent)
+}
+
+// solveCore is the two-phase algorithm itself. Budget exhaustion
+// unwinds as a budgetStop panic toward whichever boundary installed bs;
+// incumbent receives feasible plan snapshots as they form so that
+// boundary can honor the anytime contract. With bs == nil the behavior
+// and cost are identical to the original unbudgeted solve.
+func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEvaluatorMode(in, g.TreeWalk)
+	e := newEvaluatorCtx(in, g.TreeWalk, bs)
 	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
 	nodes := 0
+	snapshot := func() {
+		if bs != nil && incumbent != nil {
+			*incumbent = e.plan(nodes)
+		}
+	}
 
 	// gainOf prices one δ step of tuple bi (the last step clamps to the
 	// tuple's maximum); a negative value marks the tuple as exhausted
@@ -157,6 +198,8 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 
 	// --- Phase 1: aggressive increase. ---
 	for e.nSat < in.Need {
+		fault.Probe(SiteGreedyPhase1)
+		bs.poll()
 		pick, best := -1, 0.0
 		if g.Incremental {
 			// Lazy max-heap: pop until the top entry matches the current
@@ -195,6 +238,7 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 		if next == e.p[pick] {
 			return nil, ErrInfeasible // defensive; pick was validated
 		}
+		bs.step()
 		e.setP(pick, next)
 		raised[pick] = true
 		lastGain[pick] = best
@@ -223,6 +267,10 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 		}
 	}
 
+	// Phase 1 satisfied the requirement: from here on there is always a
+	// feasible plan to return, however the solve is interrupted.
+	snapshot()
+
 	// --- Phase 2: refinement. ---
 	if !g.SkipRefinement {
 		order := make([]int, 0, len(raised))
@@ -237,6 +285,9 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 		})
 		for _, bi := range order {
 			for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+				fault.Probe(SiteGreedyPhase2)
+				bs.poll()
+				bs.step()
 				prev := e.p[bi]
 				next := stepDown(in.Base[bi], in.Delta, prev)
 				e.setP(bi, next)
@@ -244,6 +295,8 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 					e.setP(bi, prev) // undo: this step was load-bearing
 					break
 				}
+				// The refined state is feasible and strictly cheaper.
+				snapshot()
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 package strategy
 
 import (
+	"context"
 	"math"
 	"sort"
+
+	"pcqe/internal/fault"
 )
 
 // Heuristic is the paper's depth-first branch-and-bound search
@@ -50,8 +53,11 @@ func (h *Heuristic) Name() string { return "heuristic" }
 
 type heuristicSearch struct {
 	*Heuristic
-	in    *Instance
-	e     *evaluator
+	in *Instance
+	e  *evaluator
+	// bs carries the solve's budget/cancellation state (nil when
+	// unbudgeted); dfs polls it at every node expansion.
+	bs    *budgetState
 	order []int // variable order (base indices)
 	// maxEval mirrors the search state but keeps every *unassigned*
 	// variable at its maximum; its satisfied count is exactly H3's
@@ -72,15 +78,41 @@ type heuristicSearch struct {
 
 // Solve implements Solver.
 func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
+	return h.SolveContext(context.Background(), in, Budget{})
+}
+
+// SolveContext implements ContextSolver: the search is anytime — on
+// deadline or budget exhaustion it returns the best incumbent found so
+// far (the greedy seed or the best DFS solution, tagged Plan.Partial)
+// together with a *BudgetExceededError.
+func (h *Heuristic) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	bs, cancel := newBudgetState(h.Name(), ctx, b)
+	defer cancel()
+	return h.solveBudget(in, bs)
+}
+
+// solveBudget runs the search under an existing budget state, owning
+// the recovery boundary that converts budget unwinds and panics into
+// the anytime contract.
+func (h *Heuristic) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
 	s := &heuristicSearch{
 		Heuristic: h,
 		in:        in,
-		e:         newEvaluatorMode(in, h.TreeWalk),
+		bs:        bs,
 		bestCost:  math.Inf(1),
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = solveRecover(r, h.Name(), in, s.best)
+			if plan != nil {
+				plan.Nodes = s.nodes
+			}
+		}
+	}()
+	s.e = newEvaluatorCtx(in, h.TreeWalk, bs)
 	if s.e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
@@ -91,7 +123,7 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 		s.order[i] = i
 	}
 	if h.UseH1 {
-		cb := costBetas(in, h.TreeWalk)
+		cb := costBetas(in, h.TreeWalk, bs)
 		sort.SliceStable(s.order, func(a, b int) bool {
 			return cb[s.order[a]] > cb[s.order[b]] // descending: costly near the root
 		})
@@ -100,9 +132,14 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 	s.prepare()
 
 	if h.GreedyBound {
-		if gp, err := (&Greedy{Incremental: true, TreeWalk: h.TreeWalk}).Solve(in); err == nil {
+		// The greedy seed shares this solve's budget; its feasible
+		// snapshots land in s.best as they form, so a budget unwind
+		// mid-seed still leaves the boundary an incumbent to return.
+		if gp, gerr := (&Greedy{Incremental: true, TreeWalk: h.TreeWalk}).solveCore(in, bs, &s.best); gerr == nil {
 			s.best = gp
 			s.bestCost = gp.Cost
+		} else if s.best != nil {
+			s.bestCost = s.best.Cost
 		}
 	}
 
@@ -142,7 +179,7 @@ func (s *heuristicSearch) prepare() {
 		s.minIncSuffix[d] = math.Min(s.minIncSuffix[d+1], s.cheapestInc[s.order[d]])
 	}
 	if s.UseH3 {
-		s.maxEval = newEvaluatorMode(in, s.TreeWalk)
+		s.maxEval = newEvaluatorCtx(in, s.TreeWalk, s.bs)
 		for i, b := range in.Base {
 			s.maxEval.setP(i, b.maxP())
 		}
@@ -179,6 +216,10 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 			s.aborted = true
 			break
 		}
+		// Cooperative checkpoint: fault probe plus budget/cancellation
+		// poll (unwinds to the solver boundary on exhaustion).
+		fault.Probe(SiteHeuristicDFS)
+		s.bs.node()
 		s.e.setP(bi, v)
 		if s.UseH3 {
 			s.maxEval.setP(bi, v)
@@ -254,9 +295,11 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 // minimum cost of raising the tuple alone (others at their initial
 // confidence) until one of its results reaches β. When even the maximum
 // cannot get there, the paper adjusts the key to cost_max / (F_max/β)
-// where F_max is the best result confidence the tuple can reach.
-func costBetas(in *Instance, treeWalk bool) []float64 {
-	e := newEvaluatorMode(in, treeWalk)
+// where F_max is the best result confidence the tuple can reach. The
+// grid walk performs full formula evaluations, so it shares the solve's
+// budget state: a deadline can interrupt it via the pivot hook.
+func costBetas(in *Instance, treeWalk bool, bs *budgetState) []float64 {
+	e := newEvaluatorCtx(in, treeWalk, bs)
 	out := make([]float64, len(in.Base))
 	for bi, b := range in.Base {
 		out[bi] = costBetaOf(in, e, bi, b)

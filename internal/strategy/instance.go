@@ -20,10 +20,13 @@
 package strategy
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"pcqe/internal/cost"
+	"pcqe/internal/fault"
 	"pcqe/internal/lineage"
 )
 
@@ -66,13 +69,15 @@ type Instance struct {
 	Delta float64
 }
 
-// Validate checks structural soundness: positive δ, β in (0,1], formulas
-// monotone and referring only to known variables, Need within range.
+// Validate checks structural soundness: positive finite δ, β in (0,1],
+// finite confidences and cost increments (NaN/Inf would silently poison
+// every downstream plan), formulas monotone and referring only to known
+// variables, no duplicate base-tuple variables, Need within range.
 func (in *Instance) Validate() error {
-	if in.Delta <= 0 || in.Delta > 1 {
+	if math.IsNaN(in.Delta) || in.Delta <= 0 || in.Delta > 1 {
 		return fmt.Errorf("strategy: delta %g outside (0,1]", in.Delta)
 	}
-	if in.Beta <= 0 || in.Beta > 1 {
+	if math.IsNaN(in.Beta) || in.Beta <= 0 || in.Beta > 1 {
 		return fmt.Errorf("strategy: beta %g outside (0,1]", in.Beta)
 	}
 	if in.Need < 0 || in.Need > len(in.Results) {
@@ -80,8 +85,11 @@ func (in *Instance) Validate() error {
 	}
 	seen := map[lineage.Var]bool{}
 	for i, b := range in.Base {
-		if b.P < 0 || b.P > 1 {
+		if math.IsNaN(b.P) || b.P < 0 || b.P > 1 {
 			return fmt.Errorf("strategy: base %d confidence %g outside [0,1]", i, b.P)
+		}
+		if math.IsNaN(b.MaxP) {
+			return fmt.Errorf("strategy: base %d max confidence %g invalid", i, b.MaxP)
 		}
 		maxP := b.MaxP
 		if maxP == 0 {
@@ -92,6 +100,12 @@ func (in *Instance) Validate() error {
 		}
 		if b.Cost == nil {
 			return fmt.Errorf("strategy: base %d has no cost function", i)
+		}
+		// Spot-check the cost function over the tuple's full range: a
+		// NaN, infinite or negative full-range increment would corrupt
+		// plan costs and break every pruning bound.
+		if c := b.Cost.Increment(b.P, maxP); math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+			return fmt.Errorf("strategy: base %d cost function yields invalid increment %g over [%g,%g]", i, c, b.P, maxP)
 		}
 		if seen[b.Var] {
 			return fmt.Errorf("strategy: duplicate base variable %d", int(b.Var))
@@ -112,6 +126,34 @@ func (in *Instance) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a short stable identifier of the instance shape
+// (sizes, parameters, variables and confidences), used to correlate
+// typed solver errors with the instance that triggered them without
+// logging the instance itself.
+func (in *Instance) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	put(uint64(len(in.Base)))
+	put(uint64(len(in.Results)))
+	put(math.Float64bits(in.Beta))
+	put(math.Float64bits(in.Delta))
+	put(uint64(in.Need))
+	for _, b := range in.Base {
+		put(uint64(b.Var))
+		put(math.Float64bits(b.P))
+	}
+	for _, r := range in.Results {
+		if r.Formula != nil {
+			put(uint64(len(r.Formula.Vars())))
+		}
+	}
+	return fmt.Sprintf("%dr%db-%016x", len(in.Results), len(in.Base), h.Sum64())
 }
 
 // maxP returns the tuple's effective maximum confidence.
@@ -136,6 +178,15 @@ type Plan struct {
 	// Nodes counts search nodes (heuristic) or gain evaluations
 	// (greedy/D&C); useful for benchmarking pruning effectiveness.
 	Nodes int
+	// Partial marks an anytime result: the solver stopped on a deadline
+	// or budget exhaustion (or degraded sub-solves) before completing
+	// its search. The plan still satisfies the instance and passes
+	// Verify; it just carries no optimality claim.
+	Partial bool
+	// Degraded counts divide-and-conquer group sub-solves that panicked
+	// or ran out of budget and were skipped or served by a cheaper
+	// fallback algorithm.
+	Degraded int
 }
 
 // Solver finds a confidence-increment plan for an instance.
@@ -177,6 +228,11 @@ type occ struct {
 type evaluator struct {
 	in         *Instance
 	treeWalk   bool
+	// bs is the owning solve's budget state (nil when unbudgeted):
+	// recompute polls it, so even tree-walk evaluations — which have no
+	// pivot hook — stay cooperatively interruptible at per-formula
+	// granularity.
+	bs         *budgetState
 	p          []float64 // current confidence per base tuple
 	resultProb []float64
 	satisfied  []bool
@@ -215,9 +271,26 @@ func newEvaluator(in *Instance) *evaluator { return newEvaluatorMode(in, false) 
 // newEvaluatorMode builds an evaluator; treeWalk selects the legacy
 // interface-typed tree evaluation instead of compiled programs.
 func newEvaluatorMode(in *Instance, treeWalk bool) *evaluator {
+	return newEvaluatorCtx(in, treeWalk, nil)
+}
+
+// newEvaluatorCtx is newEvaluatorMode with a budget: every compiled
+// machine gets a pivot hook that counts Shannon pivot enumerations
+// against bs and polls for cancellation, making formula evaluation —
+// the solvers' deepest and potentially exponential loop — cooperatively
+// interruptible. bs == nil builds a plain unbudgeted evaluator.
+func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
+	var hook func(int)
+	if bs != nil {
+		hook = func(n int) {
+			fault.Probe(SitePivot)
+			bs.pivot(n)
+		}
+	}
 	e := &evaluator{
 		in:         in,
 		treeWalk:   treeWalk,
+		bs:         bs,
 		p:          make([]float64, len(in.Base)),
 		resultProb: make([]float64, len(in.Results)),
 		satisfied:  make([]bool, len(in.Results)),
@@ -244,6 +317,7 @@ func newEvaluatorMode(in *Instance, treeWalk bool) *evaluator {
 			if prog, err := lineage.CompileExact(r.Formula, compiledSharedLimit); err == nil {
 				e.compiled[ri] = true
 				e.machines[ri] = lineage.NewMachine(prog)
+				e.machines[ri].SetPivotHook(hook)
 				e.slotProbs[ri] = make([]float64, prog.NumSlots())
 				e.derivRow[ri] = make([]float64, prog.NumSlots())
 				for s, v := range prog.Vars() {
@@ -278,6 +352,7 @@ func (e *evaluator) assignment() lineage.Assignment {
 }
 
 func (e *evaluator) recompute(ri int) {
+	e.bs.poll()
 	var prob float64
 	switch {
 	case e.compiled[ri]:
