@@ -1,15 +1,27 @@
-# Development targets. `make check` is the pre-commit gate: vet, build,
-# the full test suite under the race detector, and a quick pass over the
-# differential tests that pin the compiled lineage kernels to the
-# tree-walk reference.
+# Development targets. `make check` is the pre-commit gate: vet, lint,
+# build, the full test suite under the race detector, and a quick pass
+# over the differential tests that pin the compiled lineage kernels to
+# the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet build test race differential bench
+.PHONY: check vet lint build test race differential bench
 
-check: vet build race differential
+check: vet lint build race differential
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own static-invariant suite (cmd/pcqelint; see
+# DESIGN.md §7) and, when installed, golangci-lint with .golangci.yml.
+# golangci-lint is optional so hermetic environments still get the full
+# pcqelint gate.
+lint:
+	$(GO) run ./cmd/pcqelint ./...
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; skipped (pcqelint ran)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -96,7 +96,7 @@ func run() error {
 		}
 		beta, err := strconv.ParseFloat(parts[2], 64)
 		if err != nil {
-			return fmt.Errorf("bad -policy threshold %q: %v", parts[2], err)
+			return fmt.Errorf("bad -policy threshold %q: %w", parts[2], err)
 		}
 		rbac.AddRole(parts[0])
 		if parts[1] != policy.Root && !purposes.Has(parts[1]) {

@@ -1,0 +1,64 @@
+// Command pcqelint runs the PCQE static-invariant suite — confrange,
+// ctxpoll, errdiscipline, auditemit and planalias — over Go packages.
+//
+// Usage:
+//
+//	pcqelint [-list] [packages]
+//
+// With no package patterns it checks ./.... The exit status is 0 when
+// the suite is clean, 1 when it reported diagnostics and 2 when the
+// packages could not be loaded. Individual findings are suppressed with
+// a trailing (or immediately preceding) comment:
+//
+//	//lint:allow confrange MaxP==0 is the "unset" sentinel, not a comparison
+//
+// See DESIGN.md §7 for what each analyzer guards and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcqe/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pcqelint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcqelint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcqelint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pcqelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

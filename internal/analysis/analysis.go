@@ -1,0 +1,193 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// go/analysis driver model (golang.org/x/tools is not vendored here) plus
+// the pcqelint suite: five analyzers that enforce PCQE's cross-cutting
+// invariants — confidence-range discipline, solver checkpoint polling,
+// typed-error handling, audit-trail completeness, and plan buffer
+// ownership. The framework mirrors the upstream shape (Analyzer, Pass,
+// Diagnostic) closely enough that the analyzers could be ported to real
+// go/analysis by swapping this file and load.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Unlike upstream go/analysis there are no
+// facts or result dependencies: each analyzer is a pure function of one
+// type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Scope restricts the analyzer to packages whose import path ends
+	// with one of these suffixes (a "/"-boundary match). Empty = every
+	// package.
+	Scope []string
+	// Run reports diagnostics for one package through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived suppression.
+	report func(Diagnostic)
+	// allow maps "file:line" to the set of analyzer names allowed there.
+	allow map[string]map[string]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos unless a //lint:allow comment on
+// the same line or the line immediately above suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names, ok := p.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]; ok {
+			if names[p.Analyzer.Name] || names["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowRe matches suppression comments: //lint:allow name1,name2 [reason].
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,\- ]+)`)
+
+// collectAllows indexes every //lint:allow comment by file:line. A
+// suppression covers diagnostics on every line of its comment group
+// (trailing comment, or a multi-line justification) plus the line
+// directly below the group (standalone comment above the statement).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	allow := map[string]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			var names []string
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				// The first whitespace-separated field after lint:allow is
+				// the comma-separated analyzer list; the rest is a free-form
+				// justification.
+				fields := strings.Fields(m[1])
+				if len(fields) > 0 {
+					names = append(names, strings.Split(fields[0], ",")...)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(cg.Pos())
+			end := fset.Position(cg.End())
+			for line := start.Line; line <= end.Line+1; line++ {
+				key := fmt.Sprintf("%s:%d", start.Filename, line)
+				set := allow[key]
+				if set == nil {
+					set = map[string]bool{}
+					allow[key] = set
+				}
+				for _, n := range names {
+					if n = strings.TrimSpace(n); n != "" {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// inScope reports whether a package import path matches the analyzer's
+// Scope. Suffixes match at "/" boundaries: "internal/strategy" matches
+// "pcqe/internal/strategy" but not "pcqe/internal/strategy2".
+func (a *Analyzer) inScope(path string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, suf := range a.Scope {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to the loaded packages and returns all
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if !a.inScope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				allow:     allow,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: pkg.Path},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Auditemit returns the auditemit analyzer. The paper's compliance
+// story requires a complete audit trail: a response degraded by a
+// budget, deadline or recovered solver fault, and a proposal built from
+// a partial (anytime) plan, must both leave an audit event — a silent
+// degradation is a policy decision nobody can review.
+//
+// Trigger sites are assignments to Response.Degraded and writes of the
+// partial flag into a Proposal. A trigger is satisfied when an
+// audit-record call (a record/Record method on an Audit* type) is
+// statically reachable from the function — or when every same-package
+// caller of the function is itself covered, which is how propose() may
+// delegate the AuditDegrade event to EvaluateContext.
+func Auditemit(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "auditemit",
+		Doc:   "degraded responses and partial-plan proposals emit audit events",
+		Scope: scope,
+		Run:   runAuditemit,
+	}
+}
+
+func runAuditemit(pass *Pass) error {
+	g := buildCallGraph(pass)
+	marked := g.markTransitive(func(body *ast.BlockStmt) bool {
+		return containsAuditRecord(pass, body)
+	})
+	covered := g.coveredByCallers(marked)
+
+	for obj, fd := range g.decls {
+		if covered[obj] {
+			continue
+		}
+		fdLocal := fd
+		ast.Inspect(fdLocal.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						if sel.Sel.Name == "Degraded" && namedTypeIs(pass.TypesInfo.TypeOf(sel.X), "Response") {
+							pass.Reportf(n.Pos(), "Response.Degraded is set on a path that never records an audit event; emit AuditDegrade (or cover every caller)")
+						}
+						if isPartialField(sel.Sel.Name) && namedTypeIs(pass.TypesInfo.TypeOf(sel.X), "Proposal") {
+							pass.Reportf(n.Pos(), "partial plan consumed into a Proposal on a path that never records an audit event")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if !namedTypeIs(pass.TypesInfo.TypeOf(n), "Proposal") {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && isPartialField(key.Name) && !isFalseLiteral(kv.Value) {
+						pass.Reportf(kv.Pos(), "partial plan consumed into a Proposal on a path that never records an audit event")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isPartialField(name string) bool { return name == "partial" || name == "Partial" }
+
+func isFalseLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "false"
+}
+
+// containsAuditRecord reports whether body directly calls an audit
+// record method: record/Record/append-style emitters on a type whose
+// name contains "Audit".
+func containsAuditRecord(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "record" && name != "Record" && name != "Emit" {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil {
+			if named, ok := deref(t).(*types.Named); ok && strings.Contains(named.Obj().Name(), "Audit") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeIs reports whether t (after pointer deref) is a named type
+// with the given name.
+func namedTypeIs(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := deref(t).(*types.Named)
+	return ok && named.Obj().Name() == name
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph is the package-local static call graph. Nodes are function
+// declarations plus function literals bound to a local variable
+// (`gainOf := func(...) {...}`), keyed by types.Object identity. Calls
+// through interfaces or unresolvable function values are not edges —
+// the analyzers that use this accept the under-approximation and
+// provide //lint:allow as the escape hatch.
+type callGraph struct {
+	bodies  map[types.Object]*ast.BlockStmt
+	callees map[types.Object][]types.Object
+	callers map[types.Object][]types.Object
+	decls   map[types.Object]*ast.FuncDecl
+}
+
+// buildCallGraph indexes every function declaration and var-bound
+// function literal in the pass's package, and the direct same-package
+// calls each body makes.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		bodies:  map[types.Object]*ast.BlockStmt{},
+		callees: map[types.Object][]types.Object{},
+		callers: map[types.Object][]types.Object{},
+		decls:   map[types.Object]*ast.FuncDecl{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			g.bodies[obj] = fd.Body
+			g.decls[obj] = fd
+			// Bind `name := func(...) {...}` literals to their variable, so
+			// calls through the variable resolve. Reassigned variables keep
+			// their first literal — good enough for the lint use case.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					if i >= len(assign.Rhs) {
+						break
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lit, ok := assign.Rhs[i].(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					vobj := pass.TypesInfo.Defs[id]
+					if vobj == nil {
+						vobj = pass.TypesInfo.Uses[id]
+					}
+					if vobj != nil {
+						if _, seen := g.bodies[vobj]; !seen {
+							g.bodies[vobj] = lit.Body
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for obj, body := range g.bodies {
+		seen := map[types.Object]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObject(pass, call)
+			if callee == nil || callee == obj || seen[callee] {
+				return true
+			}
+			if _, local := g.bodies[callee]; !local {
+				return true
+			}
+			seen[callee] = true
+			g.callees[obj] = append(g.callees[obj], callee)
+			g.callers[callee] = append(g.callers[callee], obj)
+			return true
+		})
+	}
+	return g
+}
+
+// calleeObject resolves the called function (or function-typed
+// variable) of a call expression, or nil for builtins, conversions and
+// unresolvable dynamic calls.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Func:
+			return obj
+		case *types.Var:
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// markTransitive computes the least fixpoint of "direct(body) or body
+// calls a marked function": the set of functions from which a
+// property-bearing call is statically reachable through same-package
+// calls.
+func (g *callGraph) markTransitive(direct func(body *ast.BlockStmt) bool) map[types.Object]bool {
+	marked := map[types.Object]bool{}
+	for obj, body := range g.bodies {
+		if direct(body) {
+			marked[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range g.bodies {
+			if marked[obj] {
+				continue
+			}
+			for _, callee := range g.callees[obj] {
+				if marked[callee] {
+					marked[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// coveredByCallers computes the greatest fixpoint of "marked(F), or F
+// has callers and every caller is covered": a function whose obligation
+// is discharged on every inbound call path within the package. Used by
+// auditemit, where a helper that sets Response.Degraded is fine as long
+// as each of its callers records the audit event.
+func (g *callGraph) coveredByCallers(marked map[types.Object]bool) map[types.Object]bool {
+	covered := map[types.Object]bool{}
+	for obj := range g.bodies {
+		covered[obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range g.bodies {
+			if !covered[obj] || marked[obj] {
+				continue
+			}
+			ok := len(g.callers[obj]) > 0
+			for _, caller := range g.callers[obj] {
+				if !covered[caller] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				covered[obj] = false
+				changed = true
+			}
+		}
+	}
+	return covered
+}

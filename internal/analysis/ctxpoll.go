@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Ctxpoll returns the ctxpoll analyzer. It guards the PR-2 anytime
+// contract: solver hot loops must stay interruptible.
+//
+//   - In a budget-aware function (one with a *budgetState or
+//     *SolveContext reachable through its receiver or parameters), every
+//     for/range loop that performs calls — and can therefore do unbounded
+//     work — must reach a cooperative checkpoint: a direct
+//     poll/node/step/pivot call, a pivot-hook invocation, or a call to a
+//     same-package function that transitively checkpoints.
+//   - Any loop bounded by a 1<<n shift expression is an exponential
+//     enumeration (Shannon pivots, brute-force assignments) and must
+//     checkpoint regardless of what is in scope.
+//
+// Cheap bookkeeping loops are exempt automatically (no calls, no nested
+// loops); intentionally unbudgeted ones take //lint:allow ctxpoll with a
+// justification.
+func Ctxpoll(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "ctxpoll",
+		Doc:   "solver and lineage-evaluation hot loops poll a cooperative budget checkpoint",
+		Scope: scope,
+		Run:   runCtxpoll,
+	}
+}
+
+// budgetTypeRe names the types that carry the cooperative budget.
+var budgetTypeRe = regexp.MustCompile(`^(budgetState|SolveContext)$`)
+
+// checkpointMethods are the cooperative checkpoint entry points on a
+// budget-carrying type.
+var checkpointMethods = map[string]bool{
+	"poll": true, "node": true, "step": true, "pivot": true,
+	"Poll": true, "Checkpoint": true,
+}
+
+// hookNames are pivot-hook function values whose invocation is a
+// checkpoint (the compiled lineage machine's budget callback).
+var hookNames = map[string]bool{"hook": true}
+
+func runCtxpoll(pass *Pass) error {
+	g := buildCallGraph(pass)
+	// checkpointing = functions from which a checkpoint call is
+	// statically reachable through same-package calls.
+	checkpointing := g.markTransitive(func(body *ast.BlockStmt) bool {
+		return containsDirectCheckpoint(pass, body)
+	})
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			aware := budgetAware(pass, fd)
+			// The budget obligation attaches to the outermost loop of each
+			// nest: the documented contract is "a solve returns within one
+			// checkpoint interval", so an inner bounded scan between two
+			// checkpoints of its enclosing loop is fine.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				body, exponential := loopBody(n)
+				if body == nil {
+					return true
+				}
+				if !exponential {
+					ctxpollCheckLoop(pass, g, checkpointing, n, body, false, aware)
+				}
+				return false
+			})
+			// Exponential (1<<n-bounded) loops are checked wherever they
+			// appear — even nested, one pivot enumeration outruns any
+			// per-outer-iteration checkpoint.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if body, exponential := loopBody(n); exponential {
+					ctxpollCheckLoop(pass, g, checkpointing, n, body, true, aware)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func ctxpollCheckLoop(pass *Pass, g *callGraph, checkpointing map[types.Object]bool, n ast.Node, body *ast.BlockStmt, exponential, aware bool) {
+	if !aware && !exponential {
+		return
+	}
+	if !exponential && !loopDoesWork(pass, body) {
+		return
+	}
+	if reachesCheckpoint(pass, g, checkpointing, body) {
+		return
+	}
+	if exponential {
+		pass.Reportf(n.Pos(), "exponential enumeration loop has no cooperative checkpoint; call the budget poll or the pivot hook each iteration")
+	} else {
+		pass.Reportf(n.Pos(), "loop in budget-aware function never reaches a SolveContext checkpoint (poll/node/step/pivot); the anytime contract cannot interrupt it")
+	}
+}
+
+// loopBody returns the body of a for/range statement, and whether the
+// loop bound is a 1<<n shift (exponential enumeration).
+func loopBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		exp := false
+		if n.Cond != nil {
+			ast.Inspect(n.Cond, func(c ast.Node) bool {
+				if be, ok := c.(*ast.BinaryExpr); ok && be.Op == token.SHL {
+					exp = true
+				}
+				return true
+			})
+		}
+		return n.Body, exp
+	case *ast.RangeStmt:
+		return n.Body, false
+	}
+	return nil, false
+}
+
+// budgetAware reports whether fd can reach a budget checkpoint value:
+// a budget-typed receiver/parameter, or a receiver struct with a
+// budget-typed field.
+func budgetAware(pass *Pass, fd *ast.FuncDecl) bool {
+	var fields []*ast.Field
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, field := range fields {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isBudgetType(t) {
+			return true
+		}
+		if st, ok := deref(t).Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if isBudgetType(st.Field(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isBudgetType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	return ok && budgetTypeRe.MatchString(named.Obj().Name())
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isCheckpointCall reports whether call is a direct checkpoint: a
+// checkpoint method on a budget type, or a pivot-hook invocation.
+func isCheckpointCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if checkpointMethods[fun.Sel.Name] {
+			if t := pass.TypesInfo.TypeOf(fun.X); t != nil && isBudgetType(t) {
+				return true
+			}
+		}
+		if hookNames[fun.Sel.Name] {
+			return true
+		}
+	case *ast.Ident:
+		if hookNames[fun.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func containsDirectCheckpoint(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isCheckpointCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reachesCheckpoint reports whether the loop body contains a checkpoint
+// call, directly or through a call to a same-package function that
+// transitively checkpoints.
+func reachesCheckpoint(pass *Pass, g *callGraph, checkpointing map[types.Object]bool, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCheckpointCall(pass, call) {
+			found = true
+			return false
+		}
+		if callee := calleeObject(pass, call); callee != nil && checkpointing[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopDoesWork reports whether a loop body can plausibly do unbounded
+// work: it contains a non-builtin call or a nested loop. Pure index
+// arithmetic loops are exempt — they run a bounded slice scan between
+// two checkpoints of the enclosing loop.
+func loopDoesWork(pass *Pass, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			work = true
+			return false
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+					if _, builtin := obj.(*types.Builtin); builtin {
+						return true
+					}
+					if _, isType := obj.(*types.TypeName); isType {
+						return true // conversion
+					}
+				}
+			case *ast.SelectorExpr:
+				_ = fun
+			}
+			work = true
+			return false
+		}
+		return true
+	})
+	return work
+}

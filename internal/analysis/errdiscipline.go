@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Errdiscipline returns the errdiscipline analyzer. The engine's
+// degradation contract is carried by typed errors
+// (*strategy.BudgetExceededError, *strategy.SolverPanicError) that cross
+// several wrapping layers, so:
+//
+//   - type assertions and type switches on a bare error are flagged —
+//     they miss wrapped errors; use errors.As;
+//   - comparing or substring-matching err.Error() text is flagged —
+//     messages are not API; use errors.Is/errors.As;
+//   - fmt.Errorf formatting an error argument with %v/%s is flagged —
+//     it severs the chain errors.As walks; wrap with %w.
+func Errdiscipline(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "errdiscipline",
+		Doc:   "typed errors are matched with errors.Is/errors.As and wrapped with %w, never string-matched or type-asserted",
+		Scope: scope,
+		Run:   runErrdiscipline,
+	}
+}
+
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+func runErrdiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				if n.Type != nil && isErrorType(pass.TypesInfo.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(), "type assertion on error; use errors.As, which also matches wrapped errors")
+				}
+			case *ast.TypeSwitchStmt:
+				if x := typeSwitchOperand(n); x != nil && isErrorType(pass.TypesInfo.TypeOf(x)) {
+					pass.Reportf(n.Pos(), "type switch on error; use errors.As, which also matches wrapped errors")
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					if isErrorTextCall(pass, n.X) || isErrorTextCall(pass, n.Y) {
+						pass.Reportf(n.OpPos, "comparing err.Error() text; error messages are not API — use errors.Is/errors.As")
+					}
+				}
+			case *ast.CallExpr:
+				checkStringMatch(pass, n)
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func typeSwitchOperand(ts *ast.TypeSwitchStmt) ast.Expr {
+	switch assign := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(assign.X).(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	case *ast.AssignStmt:
+		if len(assign.Rhs) == 1 {
+			if ta, ok := ast.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	}
+	return nil
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/... applied to
+// err.Error() text.
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !stringMatchFuncs[sel.Sel.Name] {
+		return
+	}
+	if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || pkg.Name != "strings" {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "string-matching err.Error() text; error messages are not API — use errors.Is/errors.As")
+			return
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with a non-%w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || pkg.Name != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] != 'w' && implementsError(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c breaks the wrap chain; use %%w so errors.Is/errors.As keep working", verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a printf format string, in
+// argument order. Indexed arguments (%[1]v) are not handled; such
+// formats produce no findings.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// isErrorTextCall reports whether e is a call of Error() on an error
+// value.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return implementsError(pass.TypesInfo.TypeOf(sel.X))
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is an error-shaped interface (the
+// operand type of assertions worth flagging).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.IsInterface(t) && types.Implements(t, errorIface)
+}
+
+// implementsError reports whether t (concrete or interface) satisfies
+// the error interface.
+func implementsError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

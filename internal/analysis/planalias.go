@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Planalias returns the planalias analyzer. Solvers hand out *Plan (and
+// sub-problem *Instance) values that outlive the solve; the evaluator's
+// internal buffers (e.p, gain arrays, partition scratch) keep mutating
+// after the snapshot. A Plan field aliased to such a buffer is a
+// time-of-check/time-of-use bug: Verify passes, then the plan silently
+// changes. Slice fields of returned Plan/Instance values must therefore
+// be freshly allocated (append/make/clone/composite literal or a local),
+// never a struct field, parameter or reslice of one.
+func Planalias(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "planalias",
+		Doc:   "Plan/Instance slice fields are cloned, never aliased to solver-internal buffers",
+		Scope: scope,
+		Run:   runPlanalias,
+	}
+}
+
+// planTypeNames are the snapshot types whose slice fields must own
+// their memory.
+var planTypeNames = map[string]bool{"Plan": true, "Instance": true}
+
+func runPlanalias(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := paramObjects(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					if !isPlanType(pass.TypesInfo.TypeOf(n)) {
+						return true
+					}
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok || !isSliceExpr(pass, kv.Value) {
+							continue
+						}
+						if reason := aliasReason(pass, params, kv.Value); reason != "" {
+							pass.Reportf(kv.Value.Pos(), "%s field %s aliases %s; clone it (append/slices.Clone) so the snapshot owns its memory", planTypeName(pass.TypesInfo.TypeOf(n)), key.Name, reason)
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok || !isPlanType(pass.TypesInfo.TypeOf(sel.X)) || !isSliceExpr(pass, sel) {
+							continue
+						}
+						if reason := aliasReason(pass, params, n.Rhs[i]); reason != "" {
+							pass.Reportf(n.Rhs[i].Pos(), "%s field %s aliases %s; clone it (append/slices.Clone) so the snapshot owns its memory", planTypeName(pass.TypesInfo.TypeOf(sel.X)), sel.Sel.Name, reason)
+						}
+					}
+				case *ast.ReturnStmt:
+					if fd.Recv == nil || len(fd.Recv.List) == 0 {
+						return true
+					}
+					if !isPlanType(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)) {
+						return true
+					}
+					for _, res := range n.Results {
+						sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+						if !ok || !isSliceExpr(pass, sel) {
+							continue
+						}
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] != nil && isPlanType(pass.TypesInfo.Uses[id].Type()) {
+							pass.Reportf(res.Pos(), "accessor returns internal slice %s.%s of %s; return a clone so callers cannot mutate the snapshot", id.Name, sel.Sel.Name, planTypeName(pass.TypesInfo.Uses[id].Type()))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// aliasReason classifies an expression assigned into a Plan/Instance
+// slice field. It returns a non-empty description when the expression
+// aliases memory the snapshot does not own: a struct field, a function
+// parameter, or a reslice of either. Fresh allocations (calls, literals,
+// nil, locals) return "".
+func aliasReason(pass *Pass, params map[types.Object]bool, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return "struct field " + e.Sel.Name
+	case *ast.SliceExpr:
+		if inner := aliasReason(pass, params, e.X); inner != "" {
+			return "a reslice of " + inner
+		}
+		return ""
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && params[obj] {
+			return "parameter " + e.Name
+		}
+		return ""
+	}
+	return ""
+}
+
+func paramObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+func isPlanType(t types.Type) bool { return planTypeName(t) != "" }
+
+func planTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if named, ok := deref(t).(*types.Named); ok && planTypeNames[named.Obj().Name()] {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func isSliceExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

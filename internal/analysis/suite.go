@@ -1,0 +1,22 @@
+package analysis
+
+// Suite returns the pcqelint analyzer suite with the scopes used on
+// this repository:
+//
+//   - confrange and errdiscipline run everywhere (the [0,1] contract and
+//     typed-error discipline cross every layer);
+//   - ctxpoll runs where the anytime runtime lives — the solvers and the
+//     compiled lineage evaluator;
+//   - auditemit runs on the engine, the only layer allowed to make
+//     degradation decisions;
+//   - planalias runs where Plan/Instance snapshots are produced and
+//     consumed.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Confrange(),
+		Ctxpoll("internal/strategy", "internal/lineage"),
+		Errdiscipline(),
+		Auditemit("internal/core"),
+		Planalias("internal/strategy", "internal/core"),
+	}
+}

@@ -1,0 +1,60 @@
+// Package auditemit is the analysistest fixture for the auditemit
+// analyzer: setting Response.Degraded or consuming a partial plan into
+// a Proposal requires a reachable audit-record call, or full caller
+// coverage.
+package auditemit
+
+type Response struct {
+	Degraded error
+}
+
+type Proposal struct {
+	partial bool
+}
+
+type AuditLog struct{ events []string }
+
+func (l *AuditLog) record(kind string) { l.events = append(l.events, kind) }
+
+type engine struct {
+	audit *AuditLog
+}
+
+// silentDegrade never reaches an audit record and has no callers.
+func silentDegrade(resp *Response, err error) {
+	resp.Degraded = err // want `Response\.Degraded is set on a path that never records an audit event`
+}
+
+// silentPartial consumes a partial plan without an audit trail.
+func silentPartial() *Proposal {
+	return &Proposal{partial: true} // want `partial plan consumed into a Proposal`
+}
+
+// degrade records the event directly: clean.
+func (e *engine) degrade(resp *Response, err error) {
+	resp.Degraded = err
+	e.audit.record("degrade")
+}
+
+// setDegraded is covered because its only caller records.
+func (e *engine) setDegraded(resp *Response, err error) {
+	resp.Degraded = err
+}
+
+func (e *engine) evaluate(resp *Response, err error) {
+	e.setDegraded(resp, err)
+	e.audit.record("degrade")
+}
+
+// propose builds a partial proposal but audits it: clean.
+func (e *engine) propose() *Proposal {
+	p := &Proposal{partial: true}
+	e.audit.record("propose")
+	return p
+}
+
+// suppressed documents an intentionally unaudited write.
+func suppressed(resp *Response, err error) {
+	//lint:allow auditemit fixture: the caller outside this package audits
+	resp.Degraded = err
+}

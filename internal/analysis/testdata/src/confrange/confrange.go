@@ -1,0 +1,46 @@
+// Package confrange is the analysistest fixture for the confrange
+// analyzer: raw float equality on confidence values, out-of-range
+// constants, and inline epsilon comparisons are flagged; conf-helper
+// style comparisons and suppressed sentinels are not.
+package confrange
+
+type Plan struct {
+	NewP []float64
+	Beta float64
+}
+
+func rawEquality(p float64, plan *Plan) bool {
+	if p == plan.Beta { // want `raw float == on confidence value`
+		return true
+	}
+	return plan.NewP[0] != p // want `raw float != on confidence value`
+}
+
+func inlineEpsilon(prob, beta float64) bool {
+	return prob >= beta-1e-12 // want `inline epsilon in confidence comparison`
+}
+
+func outOfRangeAssign(plan *Plan) {
+	plan.Beta = 1.5 // want `constant 1.5 assigned to confidence value is outside \[0,1\]`
+}
+
+func outOfRangeComposite() Plan {
+	return Plan{Beta: -0.25} // want `constant -0.25 assigned to confidence field Beta is outside \[0,1\]`
+}
+
+// clean shows the accepted shapes: helper-mediated equality and plain
+// ordered comparisons without inline tolerances.
+func clean(prob, beta float64, eq func(a, b float64) bool) bool {
+	if eq(prob, beta) {
+		return true
+	}
+	plan := Plan{Beta: 0.7}
+	plan.Beta = 1
+	return prob >= plan.Beta
+}
+
+// suppressed documents a sentinel equality with //lint:allow.
+func suppressed(p float64, plan *Plan) bool {
+	//lint:allow confrange fixture sentinel: zero-value means "unset" here
+	return p == plan.Beta
+}

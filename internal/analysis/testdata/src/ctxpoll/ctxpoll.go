@@ -1,0 +1,74 @@
+// Package ctxpoll is the analysistest fixture for the ctxpoll
+// analyzer: working loops in budget-aware functions must reach a
+// checkpoint (directly or through a same-package callee), exponential
+// enumerations must checkpoint regardless, and pure bookkeeping loops
+// are exempt.
+package ctxpoll
+
+type budgetState struct{ n int }
+
+func (b *budgetState) poll() { b.n++ }
+
+type solver struct {
+	bs *budgetState
+}
+
+func work() int { return 1 }
+
+func (s *solver) unpolled(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `never reaches a SolveContext checkpoint`
+		total += work()
+	}
+	return total
+}
+
+func (s *solver) polled(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s.bs.poll()
+		total += work()
+	}
+	return total
+}
+
+func (s *solver) helper() { s.bs.poll() }
+
+// viaHelper checkpoints transitively through helper.
+func (s *solver) viaHelper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s.helper()
+		total += work()
+	}
+	return total
+}
+
+// enumerate is exponential (1<<n bound): checked even without a budget
+// value in scope.
+func enumerate(vars []int) int {
+	total := 0
+	for mask := 0; mask < 1<<len(vars); mask++ { // want `exponential enumeration loop has no cooperative checkpoint`
+		total += work()
+	}
+	return total
+}
+
+// bookkeeping is exempt: no calls, no nested loops.
+func (s *solver) bookkeeping(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// suppressed documents an intentionally unbudgeted loop.
+func (s *solver) suppressed(n int) int {
+	total := 0
+	//lint:allow ctxpoll fixture: bounded setup loop, runs before the solve
+	for i := 0; i < n; i++ {
+		total += work()
+	}
+	return total
+}

@@ -1,0 +1,61 @@
+// Package errdiscipline is the analysistest fixture for the
+// errdiscipline analyzer: type assertions/switches on bare errors,
+// err.Error() text matching, and fmt.Errorf %v-wrapping are flagged;
+// errors.Is/errors.As and %w are not.
+package errdiscipline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type BudgetError struct{ msg string }
+
+func (e *BudgetError) Error() string { return e.msg }
+
+func assertion(err error) bool {
+	_, ok := err.(*BudgetError) // want `type assertion on error`
+	return ok
+}
+
+func typeSwitch(err error) string {
+	switch err.(type) { // want `type switch on error`
+	case *BudgetError:
+		return "budget"
+	}
+	return ""
+}
+
+func textCompare(err error) bool {
+	return err.Error() == "budget exceeded" // want `comparing err\.Error\(\) text`
+}
+
+func textMatch(err error) bool {
+	return strings.Contains(err.Error(), "budget") // want `string-matching err\.Error\(\) text`
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `error formatted with %v breaks the wrap chain`
+}
+
+// clean shows the accepted idioms.
+func clean(err error) error {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return fmt.Errorf("solve failed: %w", err)
+	}
+	if errors.Is(err, context_Canceled) {
+		return nil
+	}
+	return err
+}
+
+var context_Canceled = errors.New("canceled")
+
+// suppressed documents an intentional bare assertion.
+func suppressed(err error) bool {
+	//lint:allow errdiscipline fixture: the error is produced un-wrapped two lines up
+	_, ok := err.(*BudgetError)
+	return ok
+}

@@ -1,0 +1,52 @@
+// Package planalias is the analysistest fixture for the planalias
+// analyzer: Plan/Instance slice fields must own their memory — struct
+// fields, parameters, and reslices of either are aliasing; clones,
+// fresh allocations and locals are fine.
+package planalias
+
+type Plan struct {
+	NewP      []float64
+	Satisfied []int
+}
+
+type evaluator struct {
+	p []float64
+}
+
+// snapshot aliases the evaluator's live buffer.
+func (e *evaluator) snapshot() *Plan {
+	return &Plan{NewP: e.p} // want `Plan field NewP aliases struct field p`
+}
+
+// fill aliases a caller-owned parameter.
+func fill(p *Plan, buf []float64) {
+	p.NewP = buf // want `Plan field NewP aliases parameter buf`
+}
+
+// window aliases through a reslice.
+func (e *evaluator) window() *Plan {
+	return &Plan{NewP: e.p[1:]} // want `Plan field NewP aliases a reslice of struct field p`
+}
+
+// Values leaks the snapshot's internal slice to callers.
+func (p *Plan) Values() []float64 {
+	return p.NewP // want `accessor returns internal slice p\.NewP of Plan`
+}
+
+// clone owns its memory: clean.
+func (e *evaluator) clone() *Plan {
+	return &Plan{NewP: append([]float64(nil), e.p...)}
+}
+
+// fresh allocations and locals are clean.
+func fresh(n int) *Plan {
+	buf := make([]float64, n)
+	return &Plan{NewP: buf, Satisfied: nil}
+}
+
+// suppressed documents a deliberate alias (single-threaded caller that
+// consumes the plan before the next solver step).
+func (e *evaluator) suppressed() *Plan {
+	//lint:allow planalias fixture: consumed synchronously before reuse
+	return &Plan{NewP: e.p}
+}

@@ -1,0 +1,76 @@
+// Package conf centralizes confidence (probability) arithmetic
+// discipline for PCQE. The paper's policies compare confidences against
+// thresholds (F ≥ β), solvers step confidences on a δ grid, and lineage
+// evaluation produces them as long products of floats — so every
+// comparison in the system must agree on one rounding tolerance, and
+// every stored confidence must stay in [0,1]. Before this package the
+// tolerance lived as scattered 1e-12 literals; the confrange analyzer
+// (cmd/pcqelint) now rejects new inline epsilons and raw float equality
+// on confidence values, pointing here instead.
+package conf
+
+import "math"
+
+// Eps is the shared comparison tolerance. Lineage evaluation multiplies
+// at most a few thousand factors, each introducing ≤ 1 ulp (~1e-16)
+// of relative error, so 1e-12 dominates accumulated rounding while
+// staying far below the coarsest meaningful confidence distinction
+// (the paper's δ grid is 0.1; engines use δ ≥ 1e-3).
+const Eps = 1e-12
+
+// Clamp forces p into [0,1]. NaN clamps to 0: a confidence that is not
+// a number carries no evidence.
+func Clamp(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Valid reports whether p is a well-formed confidence: not NaN and
+// within [0,1]. Unlike Clamp it rejects rather than repairs, for
+// validation at system boundaries (CSV load, SetConfidence, requests).
+func Valid(p float64) bool {
+	return !math.IsNaN(p) && p >= 0 && p <= 1
+}
+
+// VerifyEps is the deliberately looser acceptance tolerance for
+// re-verifying a plan by recomputation (Instance.Verify): the verifier
+// may recompute probabilities along a different (but value-identical)
+// evaluation path than the solver, and must never reject a plan the
+// solver honestly satisfied within Eps.
+const VerifyEps = 1e-9
+
+// GELoose reports a ≥ b up to VerifyEps. Only verification paths
+// should use it; planning decisions use GE.
+func GELoose(a, b float64) bool { return a >= b-VerifyEps }
+
+// Eq reports a ≈ b within Eps.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// Zero reports p ≈ 0 within Eps.
+func Zero(p float64) bool { return math.Abs(p) <= Eps }
+
+// One reports p ≈ 1 within Eps.
+func One(p float64) bool { return math.Abs(p-1) <= Eps }
+
+// GE reports a ≥ b up to Eps (a may fall short of b by at most Eps).
+// This is the threshold test F ≥ β: a confidence that reaches the
+// threshold modulo rounding counts as satisfying it.
+func GE(a, b float64) bool { return a >= b-Eps }
+
+// GT reports a > b beyond Eps (a must clear b by more than Eps).
+// Used for "strictly raised" checks such as plan-increment detection.
+func GT(a, b float64) bool { return a > b+Eps }
+
+// LE reports a ≤ b up to Eps.
+func LE(a, b float64) bool { return a <= b+Eps }
+
+// LT reports a < b beyond Eps.
+func LT(a, b float64) bool { return a < b-Eps }

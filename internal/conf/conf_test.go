@@ -1,0 +1,112 @@
+package conf
+
+import (
+	"math"
+	"testing"
+)
+
+// The helper semantics are load-bearing: the whole repo migrated its
+// inline 1e-12 literals onto these functions, so the tolerances are
+// pinned bit-for-bit here. Loosening Eps silently changes which plans
+// the solvers accept; tightening it breaks δ-grid equality.
+
+func TestEpsValues(t *testing.T) {
+	if Eps != 1e-12 {
+		t.Fatalf("Eps = %g, the migrated comparisons assumed 1e-12", Eps)
+	}
+	if VerifyEps != 1e-9 {
+		t.Fatalf("VerifyEps = %g, verification assumed the looser 1e-9", VerifyEps)
+	}
+}
+
+func TestOrderedComparators(t *testing.T) {
+	beta := 0.7
+	cases := []struct {
+		name           string
+		a              float64
+		ge, gt, le, lt bool
+	}{
+		// Within Eps of the threshold: GE and LE both hold, strict
+		// comparisons both fail — exactly the old a >= b-1e-12 behavior.
+		{"just below within Eps", beta - 1e-13, true, false, true, false},
+		{"exactly at", beta, true, false, true, false},
+		{"just above within Eps", beta + 1e-13, true, false, true, false},
+		// Beyond Eps the comparators agree with plain <, >.
+		{"below beyond Eps", beta - 1e-11, false, false, true, true},
+		{"above beyond Eps", beta + 1e-11, true, true, false, false},
+	}
+	for _, c := range cases {
+		if got := GE(c.a, beta); got != c.ge {
+			t.Errorf("%s: GE = %v, want %v", c.name, got, c.ge)
+		}
+		if got := GT(c.a, beta); got != c.gt {
+			t.Errorf("%s: GT = %v, want %v", c.name, got, c.gt)
+		}
+		if got := LE(c.a, beta); got != c.le {
+			t.Errorf("%s: LE = %v, want %v", c.name, got, c.le)
+		}
+		if got := LT(c.a, beta); got != c.lt {
+			t.Errorf("%s: LT = %v, want %v", c.name, got, c.lt)
+		}
+	}
+}
+
+func TestEqualityHelpers(t *testing.T) {
+	if !Eq(0.3, 0.3+1e-13) || Eq(0.3, 0.3+1e-11) {
+		t.Fatal("Eq tolerance is not Eps")
+	}
+	if !Zero(1e-13) || Zero(1e-11) {
+		t.Fatal("Zero tolerance is not Eps")
+	}
+	if !One(1-1e-13) || One(1-1e-11) {
+		t.Fatal("One tolerance is not Eps")
+	}
+}
+
+func TestGELoose(t *testing.T) {
+	beta := 0.7
+	// A verification recomputation may fall short by almost VerifyEps...
+	if !GELoose(beta-5e-10, beta) {
+		t.Fatal("GELoose must absorb sub-VerifyEps recomputation drift")
+	}
+	// ...but not by more.
+	if GELoose(beta-2e-9, beta) {
+		t.Fatal("GELoose absorbed more than VerifyEps")
+	}
+	// Planning-side GE stays strict at Eps: the same drift fails it.
+	if GE(beta-5e-10, beta) {
+		t.Fatal("GE must not absorb VerifyEps-scale drift")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{-0.5, 0},
+		{math.Inf(-1), 0},
+		{0, 0},
+		{0.42, 0.42},
+		{1, 1},
+		{1 + 1e-16, 1},
+		{1.7, 1},
+		{math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, ok := range []float64{0, 1, 0.5} {
+		if !Valid(ok) {
+			t.Errorf("Valid(%v) = false", ok)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), -1e-16, 1 + 1e-15, math.Inf(1), math.Inf(-1)} {
+		if Valid(bad) {
+			t.Errorf("Valid(%v) = true", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/cost"
 	"pcqe/internal/lineage"
 	"pcqe/internal/strategy"
@@ -58,7 +59,7 @@ func (p *Proposal) Increments() []Increment {
 	var out []Increment
 	for i, b := range p.instance.Base {
 		np := p.plan.NewP[i]
-		if np > b.P+1e-12 {
+		if conf.GT(np, b.P) {
 			out = append(out, Increment{
 				Var:  b.Var,
 				From: b.P,
@@ -117,6 +118,9 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need int) (*Propos
 			if bt.Cost == nil || base.Confidence >= base.MaxConf {
 				// Not improvable: freeze at the current confidence.
 				bt.MaxP = base.Confidence
+				//lint:allow confrange exact zero-value probe: strategy treats
+				// MaxP==0 as "unset, default to 1", so a genuinely frozen-at-0
+				// tuple must dodge the sentinel with the tiniest nonzero cap.
 				if bt.MaxP == 0 {
 					bt.MaxP = 1e-12 // MaxP 0 means "default to 1" in strategy
 				}
@@ -166,7 +170,7 @@ func (e *Engine) Apply(p *Proposal) error {
 	}
 	for i, b := range p.instance.Base {
 		np := p.plan.NewP[i]
-		if np > b.P+1e-12 {
+		if conf.GT(np, b.P) {
 			if err := e.catalog.SetConfidence(b.Var, np); err != nil {
 				return fmt.Errorf("core: applying increment to tuple %d: %w", int(b.Var), err)
 			}
@@ -246,6 +250,8 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 				bt := strategy.BaseTuple{Var: v, P: base.Confidence, MaxP: base.MaxConf, Cost: base.Cost}
 				if bt.Cost == nil || base.Confidence >= base.MaxConf {
 					bt.MaxP = base.Confidence
+					//lint:allow confrange exact zero-value probe (see propose):
+					// MaxP==0 is strategy's "unset" sentinel.
 					if bt.MaxP == 0 {
 						bt.MaxP = 1e-12
 					}
@@ -282,11 +288,33 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 	}
 	combined.Need = totalNeed
 	plan, err := strategy.SolveContext(ctx, e.solver, combined, strategy.Budget{})
-	if err != nil || plan == nil {
+	if err != nil && isDegradation(err) {
+		// The shared solve was cut short by the deadline, a budget, or a
+		// recovered solver fault. That is a reviewable policy decision:
+		// mark every response that wanted improvement as degraded and
+		// journal the event — whether or not an anytime incumbent
+		// survives to become a partial shared proposal below.
+		for i := range resps {
+			if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
+				resps[i].Degraded = err
+			}
+		}
+		if e.audit != nil {
+			user, purpose, query := multiAuditKey(reqs, resps)
+			e.audit.record(AuditEvent{
+				Kind: AuditDegrade, User: user, Purpose: purpose, Query: query,
+				Beta: combined.Beta, Partial: plan != nil, Detail: err.Error(),
+			})
+		}
+	}
+	if plan == nil || (err != nil && !isDegradation(err)) {
 		return resps, nil, nil // no feasible shared plan; responses stand alone
 	}
 	plan = topUpBlocks(ctx, e, combined, plan, blocks)
-	prop := &Proposal{instance: combined, plan: plan, solver: e.solver.Name()}
+	prop := &Proposal{
+		instance: combined, plan: plan, solver: e.solver.Name(),
+		partial: plan.Partial,
+	}
 	for i := range resps {
 		if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
 			resps[i].Proposal = prop
@@ -295,7 +323,28 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 			}
 		}
 	}
+	if e.audit != nil {
+		e.audit.record(AuditEvent{
+			Kind: AuditPropose, User: prop.user, Purpose: prop.purpose,
+			Beta: combined.Beta, Cost: plan.Cost,
+			Increments: prop.Increments(), Partial: prop.partial,
+		})
+	}
 	return resps, prop, nil
+}
+
+// multiAuditKey picks the audit identity for a multi-query event: the
+// first request whose response wanted improvement.
+func multiAuditKey(reqs []Request, resps []*Response) (user, purpose, query string) {
+	for i := range resps {
+		if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
+			return reqs[i].User, reqs[i].Purpose, reqs[i].Query
+		}
+	}
+	if len(reqs) > 0 {
+		return reqs[0].User, reqs[0].Purpose, reqs[0].Query
+	}
+	return "", "", ""
 }
 
 // queryBlock identifies one query's slice of the combined instance's
@@ -314,11 +363,12 @@ func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, pl
 		return lineage.FuncAssignment(func(v lineage.Var) float64 { return p[idx[v]] })
 	}
 	newP := append([]float64{}, plan.NewP...)
+	partial := plan.Partial
 	for _, blk := range blocks {
 		sat := 0
 		a := assign(newP)
 		for ri := blk.first; ri < blk.first+blk.count; ri++ {
-			if lineage.Prob(combined.Results[ri].Formula, a) >= combined.Beta {
+			if conf.GE(lineage.Prob(combined.Results[ri].Formula, a), combined.Beta) {
 				sat++
 			}
 		}
@@ -346,7 +396,14 @@ func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, pl
 				}
 			}
 		}
-		if sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{}); err == nil {
+		// A block solve cut short may still carry an anytime incumbent:
+		// salvage it (the merged plan only improves) and record that the
+		// result is partial, instead of discarding it with the error.
+		sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{})
+		if sp != nil {
+			if err != nil || sp.Partial {
+				partial = true
+			}
 			for si, bi := range mapping {
 				if sp.NewP[si] > newP[bi] {
 					newP[bi] = sp.NewP[si]
@@ -358,10 +415,10 @@ func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, pl
 	for i, b := range combined.Base {
 		total += b.Cost.Increment(b.P, newP[i])
 	}
-	out := &strategy.Plan{NewP: newP, Cost: total, Nodes: plan.Nodes}
+	out := &strategy.Plan{NewP: newP, Cost: total, Nodes: plan.Nodes, Partial: partial, Degraded: plan.Degraded}
 	a := assign(newP)
 	for ri, r := range combined.Results {
-		if lineage.Prob(r.Formula, a) >= combined.Beta {
+		if conf.GE(lineage.Prob(r.Formula, a), combined.Beta) {
 			out.Satisfied = append(out.Satisfied, ri)
 		}
 	}

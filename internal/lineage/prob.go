@@ -3,8 +3,9 @@ package lineage
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
+
+	"pcqe/internal/conf"
 )
 
 // Assignment supplies the probability (confidence) of each base-tuple
@@ -129,6 +130,9 @@ func probReadOnce(e *Expr, assign Assignment) float64 {
 		p := 1.0
 		for _, c := range e.children {
 			p *= probReadOnce(c, assign)
+			//lint:allow confrange exact absorbing-zero short-circuit: once the
+			// product is exactly 0 no later factor can revive it; an epsilon
+			// test would wrongly truncate tiny-but-nonzero products.
 			if p == 0 {
 				return 0
 			}
@@ -138,6 +142,7 @@ func probReadOnce(e *Expr, assign Assignment) float64 {
 		q := 1.0
 		for _, c := range e.children {
 			q *= 1 - probReadOnce(c, assign)
+			//lint:allow confrange exact absorbing-zero short-circuit (see KindAnd).
 			if q == 0 {
 				return 1
 			}
@@ -176,6 +181,8 @@ func ProbBruteForce(e *Expr, assign Assignment) (float64, error) {
 	}
 	total := 0.0
 	truth := make(map[Var]bool, len(vars))
+	//lint:allow ctxpoll test-only oracle hard-capped at 2^20 assignments by
+	// the guard above; it never runs under a solve budget.
 	for mask := 0; mask < 1<<len(vars); mask++ {
 		mass := 1.0
 		for i, v := range vars {
@@ -215,15 +222,8 @@ func (e *Expr) Monotone() bool {
 	panic("lineage: bad kind")
 }
 
+// clamp01 delegates to the shared conf.Clamp so lineage evaluation and
+// policy comparison agree on one repair rule for malformed confidences.
 func clamp01(p float64) float64 {
-	if math.IsNaN(p) {
-		return 0
-	}
-	if p < 0 {
-		return 0
-	}
-	if p > 1 {
-		return 1
-	}
-	return p
+	return conf.Clamp(p)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/lineage"
 )
 
@@ -111,7 +112,7 @@ func (c *Catalog) SetConfidence(v lineage.Var, p float64) error {
 	if !ok {
 		return fmt.Errorf("relation: unknown lineage variable %d", int(v))
 	}
-	if p < 0 || p > 1 {
+	if !conf.Valid(p) {
 		return fmt.Errorf("relation: confidence %g outside [0,1]", p)
 	}
 	if p > row.MaxConf {

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"pcqe/internal/conf"
 	"pcqe/internal/lineage"
 )
 
@@ -47,7 +48,9 @@ func (a *AttachConfidence) Next() (*Tuple, error) {
 	}
 	vals := make([]Value, 0, len(t.Values)+1)
 	vals = append(vals, t.Values...)
-	vals = append(vals, Float(lineage.Prob(t.Lineage, a.Assign)))
+	// Shannon expansion sums two products of [0,1] factors, which can
+	// overshoot 1 by an ulp; the column is user-visible, so repair it.
+	vals = append(vals, Float(conf.Clamp(lineage.Prob(t.Lineage, a.Assign))))
 	return &Tuple{Values: vals, Lineage: t.Lineage}, nil
 }
 

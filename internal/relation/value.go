@@ -212,19 +212,19 @@ func ParseValue(s string, t Type) (Value, error) {
 	case TypeBool:
 		b, err := strconv.ParseBool(s)
 		if err != nil {
-			return Value{}, fmt.Errorf("relation: bad boolean %q: %v", s, err)
+			return Value{}, fmt.Errorf("relation: bad boolean %q: %w", s, err)
 		}
 		return Bool(b), nil
 	case TypeInt:
 		i, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
-			return Value{}, fmt.Errorf("relation: bad integer %q: %v", s, err)
+			return Value{}, fmt.Errorf("relation: bad integer %q: %w", s, err)
 		}
 		return Int(i), nil
 	case TypeFloat:
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			return Value{}, fmt.Errorf("relation: bad real %q: %v", s, err)
+			return Value{}, fmt.Errorf("relation: bad real %q: %w", s, err)
 		}
 		return Float(f), nil
 	case TypeString:

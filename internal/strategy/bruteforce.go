@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/fault"
 )
 
@@ -54,7 +55,7 @@ func (b *BruteForce) SolveContext(ctx context.Context, in *Instance, bud Budget)
 		var dom []float64
 		for v := tup.P; ; v += in.Delta {
 			if v > tup.maxP() {
-				if dom[len(dom)-1] < tup.maxP()-1e-12 {
+				if conf.LT(dom[len(dom)-1], tup.maxP()) {
 					dom = append(dom, tup.maxP())
 				}
 				break

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/fault"
 )
 
@@ -408,7 +409,8 @@ func finishGreedy(in *Instance, e *evaluator, bs *budgetState) bool {
 func refine(in *Instance, e *evaluator, bs *budgetState) {
 	raised := make([]int, 0)
 	for bi, b := range in.Base {
-		if e.p[bi] > b.P+1e-12 {
+		bs.poll()
+		if conf.GT(e.p[bi], b.P) {
 			raised = append(raised, bi)
 		}
 	}
@@ -421,7 +423,7 @@ func refine(in *Instance, e *evaluator, bs *budgetState) {
 		return raised[a] < raised[b]
 	})
 	for _, bi := range raised {
-		for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+		for e.nSat >= in.Need && conf.GT(e.p[bi], in.Base[bi].P) {
 			fault.Probe(SiteDnCRefine)
 			bs.poll()
 			bs.step()
@@ -462,6 +464,7 @@ func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Gro
 	}
 	baseSets := make([]map[int]bool, n)
 	for ri, r := range in.Results {
+		bs.poll()
 		set := map[int]bool{}
 		for _, v := range r.Formula.Vars() {
 			set[varIdx[int(v)]] = true
@@ -475,11 +478,15 @@ func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Gro
 	// Build via inverted index to avoid O(n²) when sharing is sparse.
 	byBase := map[int][]int{}
 	for ri, set := range baseSets {
+		bs.poll()
 		for bi := range set {
 			byBase[bi] = append(byBase[bi], ri)
 		}
 	}
+	// Pair counting is quadratic in per-tuple co-occurrence; keep the
+	// deadline responsive while the weight map is built.
 	for _, rs := range byBase {
+		bs.poll()
 		for i := 0; i < len(rs); i++ {
 			for j := i + 1; j < len(rs); j++ {
 				a, b := rs[i], rs[j]
@@ -545,6 +552,7 @@ func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Gro
 
 	byRoot := map[int][]int{}
 	for ri := 0; ri < n; ri++ {
+		bs.poll()
 		r := find(ri)
 		byRoot[r] = append(byRoot[r], ri)
 	}
@@ -555,6 +563,7 @@ func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Gro
 	sort.Ints(roots)
 	groups := make([]Group, 0, len(roots))
 	for _, r := range roots {
+		bs.poll()
 		g := Group{Results: byRoot[r]}
 		baseSet := map[int]bool{}
 		for _, ri := range g.Results {

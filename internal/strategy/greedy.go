@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/fault"
 )
 
@@ -177,7 +178,10 @@ func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Pl
 	}
 
 	gains := make([]float64, len(in.Base))
+	// The initial gain sweep evaluates a lineage delta per tuple — as
+	// much work as a phase-1 pick — so it checkpoints like one.
 	for i := range in.Base {
+		bs.poll()
 		gains[i] = gainOf(i)
 	}
 	var h gainHeap
@@ -186,6 +190,7 @@ func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Pl
 	if g.Incremental {
 		h.es = make([]gainEntry, 0, len(in.Base))
 		for i, gn := range gains {
+			bs.poll()
 			if gn > 0 {
 				h.push(gainEntry{gain: gn, bi: i})
 			}
@@ -284,7 +289,7 @@ func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Pl
 			return order[a] < order[b]
 		})
 		for _, bi := range order {
-			for e.nSat >= in.Need && e.p[bi] > in.Base[bi].P+1e-12 {
+			for e.nSat >= in.Need && conf.GT(e.p[bi], in.Base[bi].P) {
 				fault.Probe(SiteGreedyPhase2)
 				bs.poll()
 				bs.step()
@@ -310,6 +315,7 @@ func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Pl
 func cheapestStep(in *Instance, e *evaluator) int {
 	best, bestCost := -1, 0.0
 	for bi := range in.Base {
+		e.bs.poll()
 		next, c := e.stepPrice(bi)
 		if next == e.p[bi] {
 			continue

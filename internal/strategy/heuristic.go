@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/fault"
 )
 
@@ -167,6 +168,7 @@ func (s *heuristicSearch) prepare() {
 	in := s.in
 	s.cheapestInc = make([]float64, len(in.Base))
 	for i, b := range in.Base {
+		s.bs.poll()
 		next := b.P + in.Delta
 		if next > b.maxP() {
 			next = b.maxP()
@@ -175,6 +177,8 @@ func (s *heuristicSearch) prepare() {
 	}
 	s.minIncSuffix = make([]float64, len(s.order)+1)
 	s.minIncSuffix[len(s.order)] = math.Inf(1)
+	//lint:allow ctxpoll O(n) suffix-min arithmetic over the already-built
+	// increment table; no lineage evaluation happens here.
 	for d := len(s.order) - 1; d >= 0; d-- {
 		s.minIncSuffix[d] = math.Min(s.minIncSuffix[d+1], s.cheapestInc[s.order[d]])
 	}
@@ -205,7 +209,7 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 		if v > maxP {
 			// Final partial step to the exact maximum, if the grid
 			// overshot and we have not tried maxP yet.
-			if v-s.in.Delta < maxP-1e-12 {
+			if conf.LT(v-s.in.Delta, maxP) {
 				v = maxP
 			} else {
 				break
@@ -317,7 +321,7 @@ func costBetaOf(in *Instance, e *evaluator, bi int, b BaseTuple) float64 {
 		}
 		e.setP(bi, v)
 		for _, oc := range e.resultsOf[bi] {
-			if e.resultProb[oc.ri] >= in.Beta-1e-12 {
+			if conf.GE(e.resultProb[oc.ri], in.Beta) {
 				return b.Cost.Increment(orig, v)
 			}
 		}

@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"pcqe/internal/conf"
 	"pcqe/internal/cost"
 	"pcqe/internal/fault"
 	"pcqe/internal/lineage"
@@ -158,6 +159,8 @@ func (in *Instance) Fingerprint() string {
 
 // maxP returns the tuple's effective maximum confidence.
 func (b BaseTuple) maxP() float64 {
+	//lint:allow confrange MaxP==0 is the "unset" zero-value sentinel (meaning
+	// "no cap, default to 1"), not a numeric confidence comparison.
 	if b.MaxP == 0 {
 		return 1
 	}
@@ -226,8 +229,8 @@ type occ struct {
 // through its flat program; the faithful tree-walk path remains
 // available for differential testing and the ablation benchmarks.
 type evaluator struct {
-	in         *Instance
-	treeWalk   bool
+	in       *Instance
+	treeWalk bool
 	// bs is the owning solve's budget state (nil when unbudgeted):
 	// recompute polls it, so even tree-walk evaluations — which have no
 	// pivot hook — stay cooperatively interruptible at per-formula
@@ -313,6 +316,9 @@ func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
 		e.varIdx[b.Var] = i
 	}
 	for ri, r := range in.Results {
+		// Compilation is O(|formula|) per result but the instance may carry
+		// tens of thousands of results; keep setup interruptible too.
+		bs.poll()
 		if !treeWalk {
 			if prog, err := lineage.CompileExact(r.Formula, compiledSharedLimit); err == nil {
 				e.compiled[ri] = true
@@ -369,7 +375,7 @@ func (e *evaluator) recompute(ri int) {
 		e.derivs[ri] = nil
 	}
 	e.resultProb[ri] = prob
-	sat := prob >= e.in.Beta-1e-12
+	sat := conf.GE(prob, e.in.Beta)
 	if sat != e.satisfied[ri] {
 		e.satisfied[ri] = sat
 		if sat {
@@ -382,6 +388,8 @@ func (e *evaluator) recompute(ri int) {
 
 // setP updates base tuple bi's confidence and refreshes affected results.
 func (e *evaluator) setP(bi int, p float64) {
+	//lint:allow confrange exact no-op guard: solvers re-apply the identical
+	// grid value; an epsilon guard would silently swallow sub-Eps δ steps.
 	if e.p[bi] == p {
 		return
 	}
@@ -398,6 +406,8 @@ func (e *evaluator) setP(bi int, p float64) {
 // totalCost prices the current confidences against the initial ones.
 func (e *evaluator) totalCost() float64 {
 	total := 0.0
+	//lint:allow ctxpoll bounded O(|Base|) cost summation that runs inside
+	// incumbent-snapshot assembly; unwinding mid-snapshot would tear it.
 	for i, b := range e.in.Base {
 		total += b.Cost.Increment(b.P, e.p[i])
 	}
@@ -410,13 +420,18 @@ func (e *evaluator) totalCost() float64 {
 // ΔF = (newP − p)·(F|v=1 − F|v=0) exactly.
 func (e *evaluator) deltaF(bi int, newP float64) float64 {
 	cur := e.p[bi]
+	//lint:allow confrange exact no-op guard (see setP); the multilinear
+	// difference below is exactly 0 for an exactly unchanged confidence.
 	if newP == cur {
 		return 0
 	}
 	d := newP - cur
 	total := 0.0
 	occs := e.resultsOf[bi]
+	// Gain probing recomputes derivative rows on demand — real lineage
+	// work, so each occurrence passes the cooperative checkpoint.
 	for i := range occs {
+		e.bs.poll()
 		oc := &occs[i]
 		ri := int(oc.ri)
 		if e.satisfied[ri] {
@@ -472,6 +487,9 @@ func (e *evaluator) satAtMax() int {
 	var scratch []float64
 	sat := 0
 	for ri := range e.in.Results {
+		// Feasibility probing evaluates every formula at the maxima; on
+		// large instances this rivals a solve phase, so stay interruptible.
+		e.bs.poll()
 		var prob float64
 		switch {
 		case e.compiled[ri]:
@@ -490,7 +508,7 @@ func (e *evaluator) satAtMax() int {
 		default:
 			prob = lineage.Prob(e.in.Results[ri].Formula, maxAssign)
 		}
-		if prob >= e.in.Beta-1e-12 {
+		if conf.GE(prob, e.in.Beta) {
 			sat++
 		}
 	}
@@ -528,10 +546,10 @@ func (in *Instance) Verify(p *Plan) error {
 	total := 0.0
 	for i, b := range in.Base {
 		np := p.NewP[i]
-		if np < b.P-1e-12 {
+		if conf.LT(np, b.P) {
 			return fmt.Errorf("strategy: plan lowers tuple %d below its current confidence", i)
 		}
-		if np > b.maxP()+1e-12 {
+		if conf.GT(np, b.maxP()) {
 			return fmt.Errorf("strategy: plan raises tuple %d above its maximum", i)
 		}
 		total += b.Cost.Increment(b.P, np)
@@ -548,7 +566,7 @@ func (in *Instance) Verify(p *Plan) error {
 	assign := probs
 	sat := 0
 	for _, r := range in.Results {
-		if lineage.Prob(r.Formula, assign) >= in.Beta-1e-9 {
+		if conf.GELoose(lineage.Prob(r.Formula, assign), in.Beta) {
 			sat++
 		}
 	}
@@ -566,7 +584,7 @@ func stepUp(b BaseTuple, delta, cur float64) float64 {
 	if next > b.maxP() {
 		next = b.maxP()
 	}
-	if next <= cur+1e-12 {
+	if conf.LE(next, cur) {
 		return cur
 	}
 	return next
@@ -576,7 +594,7 @@ func stepUp(b BaseTuple, delta, cur float64) float64 {
 // below cur, never below b.P. When cur sits off-grid (clamped at maxP),
 // the step realigns to the grid.
 func stepDown(b BaseTuple, delta, cur float64) float64 {
-	if cur <= b.P+1e-12 {
+	if conf.LE(cur, b.P) {
 		return b.P
 	}
 	steps := math.Ceil((cur-b.P)/delta-1e-9) - 1
@@ -584,7 +602,7 @@ func stepDown(b BaseTuple, delta, cur float64) float64 {
 	if next < b.P {
 		next = b.P
 	}
-	if next >= cur-1e-12 {
+	if conf.GE(next, cur) {
 		next = cur - delta
 		if next < b.P {
 			next = b.P
