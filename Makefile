@@ -4,9 +4,9 @@
 # the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet lint build test race differential bench
+.PHONY: check vet lint build test race differential bench obs-smoke
 
-check: vet lint build race differential
+check: vet lint build race differential obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,20 @@ race:
 # derivative rows) in internal/lineage and internal/strategy.
 differential:
 	$(GO) test -run Differential -count=1 ./internal/lineage/ ./internal/strategy/
+
+# obs-smoke runs the README example workload with tracing and metrics
+# on and asserts the observability surfaces are live: the span tree
+# shows the strategy phase and the snapshot counted the query.
+obs-smoke:
+	@out=$$($(GO) run ./cmd/pcqe \
+		-table Proposal=testdata/proposal.csv \
+		-table CompanyInfo=testdata/companyinfo.csv \
+		-role mark=manager -policy manager:investment:0.06 \
+		-user mark -purpose investment -min 1 -trace -metrics \
+		'SELECT DISTINCT CompanyInfo.Company, Income FROM CompanyInfo JOIN Proposal ON CompanyInfo.Company = Proposal.Company WHERE Funding < 1000000' 2>&1); \
+	echo "$$out" | grep -q '^  strategy ' || { echo "obs-smoke: no strategy span in trace"; echo "$$out"; exit 1; }; \
+	echo "$$out" | grep -q 'engine.queries 1' || { echo "obs-smoke: metrics snapshot missing engine.queries"; echo "$$out"; exit 1; }; \
+	echo "obs-smoke: ok"
 
 # Greedy phase-1 gain evaluation: compiled kernels vs legacy tree walk.
 bench:

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	benchrunner [-fig all|table4|11a..11f|ablations] [-full] [-seed N]
+//	            [-cpuprofile f] [-memprofile f] [-debug-listen addr]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // debug listener endpoints, opt-in via -debug-listen
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pcqe/internal/bench"
@@ -21,13 +26,57 @@ func main() {
 	fig := flag.String("fig", "all", "experiment to run: "+strings.Join(bench.Names(), ", "))
 	full := flag.Bool("full", false, "run the paper's complete parameter grid (slow)")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugListen := flag.String("debug-listen", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	opt := bench.Options{Full: *full, Seed: *seed}
-	tables, err := bench.Run(*fig, opt)
-	if err != nil {
+	if err := run(*fig, *full, *seed, *cpuProfile, *memProfile, *debugListen); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
+	}
+}
+
+func run(fig string, full bool, seed int64, cpuProfile, memProfile, debugListen string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			}
+		}()
+	}
+	if debugListen != "" {
+		go func() {
+			// DefaultServeMux carries the expvar and pprof handlers.
+			if err := http.ListenAndServe(debugListen, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", debugListen)
+	}
+
+	opt := bench.Options{Full: full, Seed: seed}
+	tables, err := bench.Run(fig, opt)
+	if err != nil {
+		return err
 	}
 	for i, t := range tables {
 		if i > 0 {
@@ -35,4 +84,5 @@ func main() {
 		}
 		fmt.Print(t.Format())
 	}
+	return nil
 }

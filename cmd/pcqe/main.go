@@ -22,11 +22,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // debug listener endpoints, opt-in via -debug-listen
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"pcqe/internal/core"
+	"pcqe/internal/obs"
 	"pcqe/internal/policy"
 	"pcqe/internal/relation"
 	"pcqe/internal/sql"
@@ -55,12 +60,55 @@ func run() error {
 	apply := flag.Bool("apply", false, "apply the improvement proposal and re-run the query")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the request; improvement planning degrades to a partial proposal when it expires (0 = no limit)")
 	execScript := flag.String("exec", "", "SQL script file to execute before the query (CREATE TABLE / INSERT ... WITH CONFIDENCE / UPDATE / DELETE)")
+	trace := flag.Bool("trace", false, "dump the request's phase-timing span tree to stderr")
+	metricsDump := flag.Bool("metrics", false, "dump the engine metrics snapshot to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	debugListen := flag.String("debug-listen", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	// A -timeout the user explicitly set to zero or a negative duration
+	// silently meant "no limit"; reject it instead of surprising them.
+	var timeoutSet bool
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			timeoutSet = true
+		}
+	})
+	if timeoutSet && *timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v (omit the flag for no limit)", *timeout)
+	}
 
 	if flag.NArg() != 1 {
 		return fmt.Errorf("exactly one SQL query argument expected")
 	}
 	query := flag.Arg(0)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pcqe:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pcqe:", err)
+			}
+		}()
+	}
 
 	cat := relation.NewCatalog()
 	for _, spec := range tables {
@@ -120,12 +168,33 @@ func run() error {
 	}
 
 	engine := core.NewEngine(cat, store, nil)
+	metrics := obs.New()
+	engine.SetMetrics(metrics)
+	if *trace {
+		engine.SetTracer(obs.NewRingTracer(0))
+	}
+	if *debugListen != "" {
+		if err := metrics.Publish("pcqe"); err != nil {
+			return err
+		}
+		go func() {
+			// DefaultServeMux carries the expvar and pprof handlers.
+			if err := http.ListenAndServe(*debugListen, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pcqe: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", *debugListen)
+	}
+
 	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac, Timeout: *timeout}
 	resp, err := engine.Evaluate(req)
 	if err != nil {
 		return err
 	}
 	fmt.Print(resp.Report())
+	if *trace {
+		fmt.Fprint(os.Stderr, "trace:\n"+resp.Timings.Tree())
+	}
 
 	if *apply && resp.Proposal != nil {
 		if err := engine.Apply(resp.Proposal); err != nil {
@@ -137,6 +206,12 @@ func run() error {
 			return err
 		}
 		fmt.Print(resp.Report())
+		if *trace {
+			fmt.Fprint(os.Stderr, "trace:\n"+resp.Timings.Tree())
+		}
+	}
+	if *metricsDump {
+		fmt.Fprint(os.Stderr, "metrics:\n"+metrics.Snapshot().String())
 	}
 	return nil
 }

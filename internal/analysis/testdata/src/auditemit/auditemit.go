@@ -58,3 +58,58 @@ func suppressed(resp *Response, err error) {
 	//lint:allow auditemit fixture: the caller outside this package audits
 	resp.Degraded = err
 }
+
+// Metrics mimics the observability registry: bumping a counter is NOT
+// an audit record — metrics are lossy aggregates, the journal is the
+// compliance surface.
+type Metrics struct{ counts map[string]int }
+
+func (m *Metrics) inc(name string) { m.counts[name]++ }
+
+type meteredEngine struct {
+	audit   *AuditLog
+	metrics *Metrics
+}
+
+// metricsOnlyDegrade counts the degradation but never journals it:
+// still flagged, a counter is no substitute for an audit event.
+func (e *meteredEngine) metricsOnlyDegrade(resp *Response, err error) {
+	e.metrics.inc("engine.degraded")
+	resp.Degraded = err // want `Response\.Degraded is set on a path that never records an audit event`
+}
+
+// meteredDegrade journals and counts: clean.
+func (e *meteredEngine) meteredDegrade(resp *Response, err error) {
+	resp.Degraded = err
+	e.metrics.inc("engine.degraded")
+	e.audit.record("degrade")
+}
+
+// metricsOnlyPartial consumes a partial plan with only a counter for
+// company: flagged.
+func (e *meteredEngine) metricsOnlyPartial() *Proposal {
+	e.metrics.inc("engine.proposals.partial")
+	return &Proposal{partial: true} // want `partial plan consumed into a Proposal`
+}
+
+// meteredPartial journals the partial proposal alongside the counter:
+// clean.
+func (e *meteredEngine) meteredPartial() *Proposal {
+	p := &Proposal{partial: true}
+	e.audit.record("propose")
+	e.metrics.inc("engine.proposals.partial")
+	return p
+}
+
+// recordAudit mirrors the engine's journal+metrics helper: it contains
+// the audit record, so callers are transitively covered.
+func (e *meteredEngine) recordAudit(kind string) {
+	e.audit.record(kind)
+	e.metrics.inc("engine.audit." + kind)
+}
+
+// helperDegrade is covered through the recordAudit helper: clean.
+func (e *meteredEngine) helperDegrade(resp *Response, err error) {
+	resp.Degraded = err
+	e.recordAudit("degrade")
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pcqe/internal/lineage"
+	"pcqe/internal/obs"
 )
 
 // AuditEventKind classifies audit-log entries.
@@ -169,3 +170,30 @@ func (e *Engine) SetAudit(log *AuditLog) { e.audit = log }
 
 // Audit returns the attached journal (nil when none).
 func (e *Engine) Audit() *AuditLog { return e.audit }
+
+// SetMetrics attaches a metrics registry; nil detaches. While
+// attached, every evaluation, degradation, proposal, apply and audit
+// event updates the registry's counters and histograms (see DESIGN.md
+// §8 for the metric names).
+func (e *Engine) SetMetrics(m *obs.Metrics) { e.metrics = m }
+
+// Metrics returns the attached registry (nil when none).
+func (e *Engine) Metrics() *obs.Metrics { return e.metrics }
+
+// SetTracer attaches a span tracer; nil detaches. Response.Timings is
+// populated either way; a tracer additionally retains the request
+// span trees (e.g. obs.NewRingTracer keeps the most recent ones).
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer (nil when none).
+func (e *Engine) Tracer() obs.Tracer { return e.tracer }
+
+// recordAudit journals ev (when a journal is attached) and mirrors the
+// event into the per-kind audit counters of the metrics registry, so
+// Metrics.Snapshot() and AuditLog.ByKind agree event for event.
+func (e *Engine) recordAudit(ev AuditEvent) {
+	if e.audit != nil {
+		e.audit.record(ev)
+	}
+	e.metrics.Counter("engine.audit." + ev.Kind.String()).Inc()
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"pcqe/internal/obs"
 	"pcqe/internal/policy"
 	"pcqe/internal/relation"
 	"pcqe/internal/sql"
@@ -35,6 +36,11 @@ type Engine struct {
 	policies *policy.Store
 	solver   strategy.Solver
 	audit    *AuditLog
+	// metrics and tracer are the optional observability surfaces
+	// (internal/obs); both are nil-safe, so evaluation code threads them
+	// unconditionally.
+	metrics *obs.Metrics
+	tracer  obs.Tracer
 }
 
 // NewEngine builds an engine. A nil solver defaults to the
@@ -104,6 +110,13 @@ type Response struct {
 	// *strategy.SolverPanicError). The response is still valid; Proposal
 	// — when also present — is a best-effort partial plan.
 	Degraded error
+	// Timings is the request's phase span tree: eval (query execution),
+	// lineage (confidence computation), policy-filter (threshold
+	// partition + ordering) and strategy (improvement planning, with
+	// per-solver and per-D&C-group child spans carrying node/step/pivot
+	// counters). Always populated by EvaluateContext; when a tracer is
+	// attached to the engine the same tree is also retained there.
+	Timings *obs.Span
 }
 
 // Need returns how many additional rows must clear the policy to honor
@@ -145,17 +158,36 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	e.metrics.Gauge("engine.inflight").Add(1)
+	defer e.metrics.Gauge("engine.inflight").Add(-1)
+	root := e.startSpan("request")
+
+	evalSpan := root.StartChild("eval")
 	rows, schema, err := sql.Query(e.catalog, req.Query)
+	evalSpan.SetAttr("rows", int64(len(rows)))
+	evalSpan.End()
 	if err != nil {
+		root.End()
 		return nil, err
 	}
-	resp := &Response{Schema: schema}
+	resp := &Response{Schema: schema, Timings: root}
+
+	// Confidence computation is its own measured phase: lineage
+	// probability is #P-hard in general and routinely dominates query
+	// evaluation, so conflating the two would hide the dominant cost.
+	linSpan := root.StartChild("lineage")
+	all := make([]Row, len(rows))
+	for i, t := range rows {
+		all[i] = Row{Tuple: t, Confidence: e.catalog.Confidence(t)}
+	}
+	linSpan.SetAttr("rows", int64(len(all)))
+	linSpan.End()
+
+	polSpan := root.StartChild("policy-filter")
 	beta, applied := e.policies.Threshold(req.User, req.Purpose)
 	resp.Threshold = beta
 	resp.PolicyApplied = applied
-
-	for _, t := range rows {
-		row := Row{Tuple: t, Confidence: e.catalog.Confidence(t)}
+	for _, row := range all {
 		// Definition 1: access requires confidence strictly above β.
 		if !applied || row.Confidence > beta {
 			resp.Released = append(resp.Released, row)
@@ -165,10 +197,15 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	}
 	sortRows(resp.Released)
 	sortRows(resp.Withheld)
+	polSpan.SetAttr("released", int64(len(resp.Released)))
+	polSpan.SetAttr("withheld", int64(len(resp.Withheld)))
+	polSpan.End()
 
 	if applied && req.MinFraction > 0 {
 		if need := resp.Need(req); need > 0 {
-			prop, err := e.propose(ctx, resp, need)
+			stratSpan := root.StartChild("strategy")
+			stratSpan.SetAttr("need", int64(need))
+			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need)
 			switch {
 			case err == nil || errors.Is(err, strategy.ErrInfeasible):
 				// prop is nil on infeasibility: nothing to offer.
@@ -177,38 +214,75 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 				// the query results stand, planning degrades. prop (when
 				// non-nil) is the solver's partial incumbent.
 				resp.Degraded = err
+				stratSpan.SetStatus(err.Error())
 			default:
+				stratSpan.End()
+				root.End()
 				return nil, err
 			}
+			stratSpan.End()
 			resp.Proposal = prop
 			if prop != nil {
 				prop.user, prop.purpose = req.User, req.Purpose
 			}
 		}
 	}
-	if e.audit != nil {
-		e.audit.record(AuditEvent{
-			Kind: AuditEvaluate, User: req.User, Purpose: req.Purpose,
+	e.recordAudit(AuditEvent{
+		Kind: AuditEvaluate, User: req.User, Purpose: req.Purpose,
+		Query: req.Query, Beta: resp.Threshold,
+		Released: len(resp.Released), Withheld: len(resp.Withheld),
+	})
+	if resp.Degraded != nil {
+		e.recordAudit(AuditEvent{
+			Kind: AuditDegrade, User: req.User, Purpose: req.Purpose,
 			Query: req.Query, Beta: resp.Threshold,
-			Released: len(resp.Released), Withheld: len(resp.Withheld),
+			Partial: resp.Proposal != nil, Detail: resp.Degraded.Error(),
 		})
-		if resp.Degraded != nil {
-			e.audit.record(AuditEvent{
-				Kind: AuditDegrade, User: req.User, Purpose: req.Purpose,
-				Query: req.Query, Beta: resp.Threshold,
-				Partial: resp.Proposal != nil, Detail: resp.Degraded.Error(),
-			})
-		}
-		if resp.Proposal != nil {
-			e.audit.record(AuditEvent{
-				Kind: AuditPropose, User: req.User, Purpose: req.Purpose,
-				Query: req.Query, Beta: resp.Threshold,
-				Cost: resp.Proposal.Cost(), Increments: resp.Proposal.Increments(),
-				Partial: resp.Proposal.Partial(),
-			})
-		}
 	}
+	if resp.Proposal != nil {
+		e.recordAudit(AuditEvent{
+			Kind: AuditPropose, User: req.User, Purpose: req.Purpose,
+			Query: req.Query, Beta: resp.Threshold,
+			Cost: resp.Proposal.Cost(), Increments: resp.Proposal.Increments(),
+			Partial: resp.Proposal.Partial(),
+		})
+	}
+	root.End()
+	e.recordResponseMetrics(resp, root.Duration())
 	return resp, nil
+}
+
+// startSpan opens a root span for one request: through the attached
+// tracer when present (so the span is retained in its ring), otherwise
+// standalone — Response.Timings is populated either way.
+func (e *Engine) startSpan(name string) *obs.Span {
+	if e.tracer != nil {
+		return e.tracer.StartSpan(name)
+	}
+	return obs.NewSpan(name)
+}
+
+// recordResponseMetrics aggregates one evaluation into the metrics
+// registry (a no-op without one).
+func (e *Engine) recordResponseMetrics(resp *Response, took time.Duration) {
+	if e.metrics == nil {
+		return
+	}
+	e.metrics.Counter("engine.queries").Inc()
+	e.metrics.Counter("engine.rows.released").Add(int64(len(resp.Released)))
+	e.metrics.Counter("engine.rows.withheld").Add(int64(len(resp.Withheld)))
+	e.metrics.Histogram("engine.request.seconds", obs.LatencyBuckets).Observe(took.Seconds())
+	e.metrics.Histogram("engine.result.rows", obs.SizeBuckets).Observe(float64(len(resp.Released) + len(resp.Withheld)))
+	if resp.Degraded != nil {
+		e.metrics.Counter("engine.degraded").Inc()
+	}
+	if resp.Proposal != nil {
+		e.metrics.Counter("engine.proposals").Inc()
+		if resp.Proposal.Partial() {
+			e.metrics.Counter("engine.proposals.partial").Inc()
+		}
+		e.metrics.Histogram("engine.proposal.cost", obs.CostBuckets).Observe(resp.Proposal.Cost())
+	}
 }
 
 // isDegradation reports whether a solver error should degrade the
@@ -222,18 +296,38 @@ func isDegradation(err error) bool {
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
+// sortRows orders rows by descending confidence with a stable
+// tuple-key tie-break: equal-confidence rows would otherwise keep
+// whatever order the upstream operators produced, making Response
+// output nondeterministic across evaluations (hash joins and map-based
+// duplicate elimination do not promise an order).
 func sortRows(rows []Row) {
 	sort.SliceStable(rows, func(i, j int) bool {
-		return rows[i].Confidence > rows[j].Confidence
+		if rows[i].Confidence > rows[j].Confidence {
+			return true
+		}
+		if rows[i].Confidence < rows[j].Confidence {
+			return false
+		}
+		return rows[i].Tuple.Key() < rows[j].Tuple.Key()
 	})
 }
 
-// String renders a short human-readable summary.
+// String renders a short human-readable summary, including the
+// degradation status: a partial plan advertised as a full-price
+// proposal would misrepresent what the user is buying.
 func (r *Response) String() string {
 	s := fmt.Sprintf("released %d rows, withheld %d (threshold %.3g)",
 		len(r.Released), len(r.Withheld), r.Threshold)
+	if r.Degraded != nil {
+		s += fmt.Sprintf("; degraded (%v)", r.Degraded)
+	}
 	if r.Proposal != nil {
-		s += fmt.Sprintf("; improvement available at cost %.4g", r.Proposal.Cost())
+		kind := "improvement"
+		if r.Proposal.Partial() {
+			kind = "partial improvement"
+		}
+		s += fmt.Sprintf("; %s available at cost %.4g", kind, r.Proposal.Cost())
 	}
 	return s
 }

@@ -8,6 +8,7 @@ import (
 	"pcqe/internal/conf"
 	"pcqe/internal/cost"
 	"pcqe/internal/lineage"
+	"pcqe/internal/obs"
 	"pcqe/internal/strategy"
 )
 
@@ -176,11 +177,15 @@ func (e *Engine) Apply(p *Proposal) error {
 			}
 		}
 	}
-	if e.audit != nil {
-		e.audit.record(AuditEvent{
-			Kind: AuditApply, User: p.user, Purpose: p.purpose,
-			Cost: p.plan.Cost, Increments: p.Increments(),
-		})
+	e.recordAudit(AuditEvent{
+		Kind: AuditApply, User: p.user, Purpose: p.purpose,
+		Cost: p.plan.Cost, Increments: p.Increments(),
+	})
+	if e.metrics != nil {
+		e.metrics.Counter("engine.applied").Inc()
+		// The histogram's running sum is the cumulative improvement
+		// spend, mirroring AuditLog.TotalImprovementSpend.
+		e.metrics.Histogram("engine.apply.cost", obs.CostBuckets).Observe(p.plan.Cost)
 	}
 	return nil
 }
@@ -287,30 +292,39 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 		totalNeed += b.need
 	}
 	combined.Need = totalNeed
-	plan, err := strategy.SolveContext(ctx, e.solver, combined, strategy.Budget{})
+	// The shared solve gets its own root span (there is no single
+	// response to hang it on); solver and per-group child spans attach
+	// through the context, and an attached tracer retains the tree.
+	shared := e.startSpan("strategy-shared")
+	shared.SetAttr("queries", int64(len(blocks)))
+	shared.SetAttr("need", int64(totalNeed))
+	sctx := obs.ContextWithSpan(ctx, shared)
+	plan, err := strategy.SolveContext(sctx, e.solver, combined, strategy.Budget{})
 	if err != nil && isDegradation(err) {
 		// The shared solve was cut short by the deadline, a budget, or a
 		// recovered solver fault. That is a reviewable policy decision:
 		// mark every response that wanted improvement as degraded and
 		// journal the event — whether or not an anytime incumbent
 		// survives to become a partial shared proposal below.
+		shared.SetStatus(err.Error())
 		for i := range resps {
 			if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {
 				resps[i].Degraded = err
+				e.metrics.Counter("engine.degraded").Inc()
 			}
 		}
-		if e.audit != nil {
-			user, purpose, query := multiAuditKey(reqs, resps)
-			e.audit.record(AuditEvent{
-				Kind: AuditDegrade, User: user, Purpose: purpose, Query: query,
-				Beta: combined.Beta, Partial: plan != nil, Detail: err.Error(),
-			})
-		}
+		user, purpose, query := multiAuditKey(reqs, resps)
+		e.recordAudit(AuditEvent{
+			Kind: AuditDegrade, User: user, Purpose: purpose, Query: query,
+			Beta: combined.Beta, Partial: plan != nil, Detail: err.Error(),
+		})
 	}
 	if plan == nil || (err != nil && !isDegradation(err)) {
+		shared.End()
 		return resps, nil, nil // no feasible shared plan; responses stand alone
 	}
-	plan = topUpBlocks(ctx, e, combined, plan, blocks)
+	plan = topUpBlocks(sctx, e, combined, plan, blocks)
+	shared.End()
 	prop := &Proposal{
 		instance: combined, plan: plan, solver: e.solver.Name(),
 		partial: plan.Partial,
@@ -323,12 +337,17 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 			}
 		}
 	}
-	if e.audit != nil {
-		e.audit.record(AuditEvent{
-			Kind: AuditPropose, User: prop.user, Purpose: prop.purpose,
-			Beta: combined.Beta, Cost: plan.Cost,
-			Increments: prop.Increments(), Partial: prop.partial,
-		})
+	e.recordAudit(AuditEvent{
+		Kind: AuditPropose, User: prop.user, Purpose: prop.purpose,
+		Beta: combined.Beta, Cost: plan.Cost,
+		Increments: prop.Increments(), Partial: prop.partial,
+	})
+	if e.metrics != nil {
+		e.metrics.Counter("engine.proposals").Inc()
+		if prop.partial {
+			e.metrics.Counter("engine.proposals.partial").Inc()
+		}
+		e.metrics.Histogram("engine.proposal.cost", obs.CostBuckets).Observe(plan.Cost)
 	}
 	return resps, prop, nil
 }

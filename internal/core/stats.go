@@ -1,5 +1,7 @@
 package core
 
+import "pcqe/internal/conf"
+
 // Stats summarizes the confidence distribution of a response across both
 // released and withheld rows — the "how trustworthy is this result set"
 // overview a UI would chart next to the table.
@@ -37,7 +39,14 @@ func (r *Response) Stats() Stats {
 			if p > s.Max {
 				s.Max = p
 			}
+			// int(p*10) alone misbuckets confidences an ulp below a
+			// decile boundary (e.g. 0.7 stored as 0.69999…97 would land
+			// in bucket 6): treat values within conf.Eps of the next
+			// boundary as belonging to the higher decile.
 			b := int(p * 10)
+			if b < 9 && conf.GE(p, float64(b+1)/10) {
+				b++
+			}
 			if b > 9 {
 				b = 9
 			}

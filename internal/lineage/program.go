@@ -185,6 +185,10 @@ type Machine struct {
 	// assignment with the count since the last call (currently always
 	// 1). See SetPivotHook.
 	hook func(pivots int)
+	// evals and pivots count Prob/ProbDeriv calls and Shannon pivot
+	// assignments over the machine's lifetime (see Counters). Plain
+	// int64: a Machine is single-goroutine by contract.
+	evals, pivots int64
 }
 
 // NewMachine returns a Machine for p.
@@ -215,6 +219,12 @@ func NewMachine(p *Program) *Machine {
 // evaluation state (pin flags may be left set). A nil f removes the
 // hook; read-once evaluation never calls it.
 func (m *Machine) SetPivotHook(f func(pivots int)) { m.hook = f }
+
+// Counters reports the machine's lifetime work: evals counts Prob and
+// ProbDeriv calls, pivots counts Shannon pivot assignments evaluated by
+// shared-variable programs (0 for read-once programs). Observability
+// instrumentation reads these to attribute lineage work to a request.
+func (m *Machine) Counters() (evals, pivots int64) { return m.evals, m.pivots }
 
 // inside runs the forward pass under the current pins and returns the
 // root probability. Multiplication order matches the tree walk's
@@ -303,6 +313,7 @@ func (m *Machine) outside(deriv []float64, w float64) {
 // Read-once programs take one flat pass; shared-variable programs
 // enumerate the precomputed pivot assignments (2^shared flat passes).
 func (m *Machine) Prob(probs []float64) float64 {
+	m.evals++
 	if len(m.prog.shared) == 0 {
 		return m.inside(probs)
 	}
@@ -319,6 +330,7 @@ func (m *Machine) ProbDeriv(probs, deriv []float64) float64 {
 	if len(deriv) != len(m.prog.vars) {
 		panic("lineage: ProbDeriv deriv length mismatch")
 	}
+	m.evals++
 	for i := range deriv {
 		deriv[i] = 0
 	}
@@ -341,6 +353,7 @@ func (m *Machine) probShared(probs []float64, deriv []float64) float64 {
 	n := len(p.shared)
 	total := 0.0
 	for mask := 0; mask < 1<<n; mask++ {
+		m.pivots++
 		if m.hook != nil {
 			m.hook(1)
 		}

@@ -235,3 +235,38 @@ func TestCompiledDerivClampedOutOfRange(t *testing.T) {
 		t.Fatalf("clamped prob %v, want %v", got, want)
 	}
 }
+
+// TestMachineCounters pins the machine's lifetime work counters: evals
+// counts Prob/ProbDeriv calls, pivots counts Shannon assignments (two
+// per eval for one shared variable, zero for read-once programs).
+func TestMachineCounters(t *testing.T) {
+	x1, x2, x3 := NewVar(1), NewVar(2), NewVar(3)
+	shared := Or(And(x1, x2), And(x1, x3)) // x1 is shared: one pivot
+	p := Compile(shared)
+	if p.ReadOnce() {
+		t.Fatalf("formula %v must compile with pivots", shared)
+	}
+	m := NewMachine(p)
+	probs := make([]float64, p.NumSlots())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	deriv := make([]float64, p.NumSlots())
+	m.Prob(probs)
+	m.ProbDeriv(probs, deriv)
+	m.Prob(probs)
+	evals, pivots := m.Counters()
+	if evals != 3 {
+		t.Errorf("evals = %d, want 3", evals)
+	}
+	if pivots != 6 { // 2 assignments per evaluation × 3 evaluations
+		t.Errorf("pivots = %d, want 6", pivots)
+	}
+
+	ro := Compile(And(x1, x2))
+	mr := NewMachine(ro)
+	mr.Prob(make([]float64, ro.NumSlots()))
+	if evals, pivots := mr.Counters(); evals != 1 || pivots != 0 {
+		t.Errorf("read-once counters = (%d, %d), want (1, 0)", evals, pivots)
+	}
+}

@@ -1,0 +1,327 @@
+// Package obs is the stdlib-only observability layer of PCQE: a
+// metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms) and a lightweight span tracer, threaded through the
+// engine and the strategy solvers.
+//
+// The paper's evaluation (Figure 11) separates query evaluation,
+// confidence computation and strategy finding as individually measured
+// phases, and confidence computation is routinely the dominant,
+// hard-to-predict cost (Koch & Olteanu). This package makes those
+// phases visible at runtime: the engine records per-phase timing spans
+// on every Response, the solvers attribute their work counters (nodes,
+// δ-steps, Shannon pivots) to the active span, and the metrics
+// registry aggregates fleet-level counts (queries, rows released and
+// withheld, degradations, audit events, improvement spend).
+//
+// Everything here is nil-safe: a nil *Metrics, *Counter, *Gauge,
+// *Histogram or *Span turns every method into a no-op, so instrumented
+// code never needs to guard the unobserved path.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (e.g. in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts and
+// an atomic running sum. Bucket i counts observations ≤ Bounds[i]; one
+// extra overflow bucket counts everything larger. Bounds are fixed at
+// registration and never reallocated, so Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Default bucket sets for the engine's histograms.
+var (
+	// LatencyBuckets covers request latencies from 100µs to 10s.
+	LatencyBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// SizeBuckets covers result-set and instance sizes.
+	SizeBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+	// CostBuckets covers improvement-plan costs.
+	CostBuckets = []float64{1, 10, 100, 1000, 10000, 100000}
+)
+
+// Metrics is a named registry of counters, gauges and histograms. The
+// zero value is NOT ready: use New. A nil *Metrics is valid and
+// discards every operation, so callers thread it unconditionally.
+type Metrics struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty metrics registry.
+func New() *Metrics {
+	return &Metrics{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on
+// first use. The first registration fixes the buckets; later calls
+// return the existing histogram regardless of bounds.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.histograms[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.histograms[name]; h == nil {
+		h = newHistogram(bounds)
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// bucket at the end.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot is a point-in-time copy of a registry, for tests, the
+// expvar bridge, and the CLI metrics dump.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty (but usable) snapshot.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Empty reports whether the snapshot carries no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// String renders the snapshot as sorted "name value" lines — the
+// format cmd/pcqe -metrics prints and `make obs-smoke` asserts on.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%s count=%d sum=%.6g\n", name, h.Count, h.Sum)
+	}
+	return b.String()
+}
+
+// Publish registers the registry under name in the process-wide expvar
+// namespace (served at /debug/vars by the standard expvar handler).
+// The published variable renders the live snapshot as JSON on every
+// read. Publishing the same name twice returns an error instead of
+// panicking the way expvar.Publish does.
+func (m *Metrics) Publish(name string) error {
+	if m == nil {
+		return fmt.Errorf("obs: cannot publish a nil metrics registry")
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	return nil
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := New()
+	c := m.Counter("a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("a") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := m.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := New()
+	h := m.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", got)
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 556.5", got)
+	}
+	s := m.Snapshot().Histograms["h"]
+	want := []int64{2, 1, 1, 1} // ≤1: {0.5, 1}; ≤10: {5}; ≤100: {50}; overflow: {500}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+func TestNilRegistryAndHandlesAreSafe(t *testing.T) {
+	var m *Metrics
+	m.Counter("x").Inc()
+	m.Gauge("y").Set(3)
+	m.Histogram("z", SizeBuckets).Observe(1)
+	if !m.Snapshot().Empty() {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := m.Publish("nil-metrics"); err == nil {
+		t.Fatal("publishing a nil registry must fail")
+	}
+}
+
+func TestSnapshotStringAndConcurrency(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Counter("hits").Inc()
+				m.Histogram("lat", LatencyBuckets).Observe(0.001)
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.Counters["hits"] != 4000 {
+		t.Fatalf("hits = %d, want 4000", snap.Counters["hits"])
+	}
+	if h := snap.Histograms["lat"]; h.Count != 4000 || math.Abs(h.Sum-4.0) > 1e-6 {
+		t.Fatalf("lat = %+v", h)
+	}
+	out := snap.String()
+	if !strings.Contains(out, "hits 4000") || !strings.Contains(out, "lat count=4000") {
+		t.Fatalf("snapshot renders as:\n%s", out)
+	}
+}
+
+func TestPublishExpvarBridge(t *testing.T) {
+	m := New()
+	m.Counter("queries").Add(3)
+	if err := m.Publish("test-obs-bridge"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Publish("test-obs-bridge"); err == nil {
+		t.Fatal("double publish must error, not panic")
+	}
+	v := expvar.Get("test-obs-bridge")
+	if v == nil {
+		t.Fatal("variable not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if snap.Counters["queries"] != 3 {
+		t.Fatalf("bridged snapshot = %+v", snap)
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	root := NewSpan("request")
+	evalSpan := root.StartChild("eval")
+	time.Sleep(time.Millisecond)
+	evalSpan.End()
+	solve := root.StartChild("strategy").StartChild("solve:greedy")
+	solve.SetAttr("nodes", 42)
+	solve.SetStatus("budget exceeded: deadline")
+	solve.End()
+	root.End()
+
+	if root.Find("solve:greedy") != solve {
+		t.Fatal("Find must locate nested spans")
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find on a missing name must return nil")
+	}
+	if evalSpan.Duration() < time.Millisecond {
+		t.Fatalf("eval duration = %v", evalSpan.Duration())
+	}
+	if solve.Attr("nodes") != 42 || solve.Status() == "" {
+		t.Fatal("attrs/status lost")
+	}
+	tree := root.Tree()
+	for _, want := range []string{"request", "  eval", "    solve:greedy", "nodes=42", "[budget exceeded: deadline]"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// End is idempotent: the duration does not grow on a second call.
+	d := solve.Duration()
+	time.Sleep(time.Millisecond)
+	solve.End()
+	if solve.Duration() != d {
+		t.Fatal("End must be idempotent")
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.SetAttr("k", 1)
+	s.SetStatus("x")
+	if c := s.StartChild("child"); c != nil {
+		t.Fatal("child of nil span must be nil")
+	}
+	if s.Tree() != "" || s.Find("x") != nil || s.Duration() != 0 {
+		t.Fatal("nil span accessors must be zero-valued")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.StartChild("group")
+				c.SetAttr("i", int64(i))
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 800 {
+		t.Fatalf("children = %d, want 800", got)
+	}
+}
+
+func TestRingTracerEviction(t *testing.T) {
+	tr := NewRingTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s").SetAttr("i", int64(i))
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 || tr.Total() != 5 {
+		t.Fatalf("retained %d (total %d), want 3 of 5", len(spans), tr.Total())
+	}
+	for i, s := range spans {
+		if got := s.Attr("i"); got != int64(i+2) {
+			t.Fatalf("span %d carries i=%d, want %d (oldest-first order)", i, got, i+2)
+		}
+	}
+	if NewRingTracer(0) == nil {
+		t.Fatal("default capacity tracer")
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("background context carries no span")
+	}
+	s := NewSpan("root")
+	ctx := ContextWithSpan(context.Background(), s)
+	if SpanFromContext(ctx) != s {
+		t.Fatal("span lost in context round-trip")
+	}
+	if got := ContextWithSpan(context.Background(), nil); SpanFromContext(got) != nil {
+		t.Fatal("nil span must not be stored")
+	}
+}

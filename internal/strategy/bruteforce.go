@@ -36,6 +36,10 @@ func (b *BruteForce) SolveContext(ctx context.Context, in *Instance, bud Budget)
 	}
 	bs, cancel := newBudgetState(b.Name(), ctx, bud)
 	defer cancel()
+	span := startSolveSpan(ctx, b.Name())
+	// Registered before the recovery boundary below so it runs after it
+	// (defers are LIFO) and records the plan/err the recovery produced.
+	defer func() { finishSolveSpan(span, bs, plan, err) }()
 	var best *Plan
 	defer func() {
 		if r := recover(); r != nil {

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pcqe/internal/obs"
 )
 
 // Budget bounds the work one solve may perform. The zero value means
@@ -304,6 +306,37 @@ func (s *budgetState) drain() {
 	if s != nil {
 		s.draining.Store(true)
 	}
+}
+
+// startSolveSpan opens the per-solve span as a child of the span the
+// caller put on ctx (the engine's "strategy" phase span), named
+// "solve:<solver>". Returns nil — and every Span method is a no-op —
+// when the context carries no span.
+func startSolveSpan(ctx context.Context, solver string) *obs.Span {
+	return obs.SpanFromContext(ctx).StartChild("solve:" + solver)
+}
+
+// finishSolveSpan closes a solve span with the work counters from the
+// budget state (falling back to Plan.Nodes on unbudgeted solves), a
+// partial marker, and the degradation cause as the span status.
+func finishSolveSpan(span *obs.Span, bs *budgetState, plan *Plan, err error) {
+	if span == nil {
+		return
+	}
+	if bs != nil {
+		span.SetAttr("nodes", bs.nodes.Load())
+		span.SetAttr("pivots", bs.pivots.Load())
+		span.SetAttr("steps", bs.steps.Load())
+	} else if plan != nil {
+		span.SetAttr("nodes", int64(plan.Nodes))
+	}
+	if plan != nil && plan.Partial {
+		span.SetAttr("partial", 1)
+	}
+	if err != nil {
+		span.SetStatus(err.Error())
+	}
+	span.End()
 }
 
 // solveRecover converts a recovered panic at a solver boundary into the

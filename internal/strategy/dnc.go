@@ -10,6 +10,7 @@ import (
 
 	"pcqe/internal/conf"
 	"pcqe/internal/fault"
+	"pcqe/internal/obs"
 )
 
 // DivideAndConquer is the paper's scalable algorithm (Section 4.3): it
@@ -78,18 +79,21 @@ func (d *DivideAndConquer) Solve(in *Instance) (*Plan, error) {
 // solve; if the combined state of the surviving groups satisfies the
 // instance, the plan is returned tagged Plan.Partial alongside any
 // budget error.
-func (d *DivideAndConquer) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
+func (d *DivideAndConquer) SolveContext(ctx context.Context, in *Instance, b Budget) (plan *Plan, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	bs, cancel := newBudgetState(d.Name(), ctx, b)
 	defer cancel()
-	return d.solveBudget(in, bs)
+	span := startSolveSpan(ctx, d.Name())
+	defer func() { finishSolveSpan(span, bs, plan, err) }()
+	return d.solveBudget(in, bs, span)
 }
 
 // solveBudget runs the divide-and-conquer driver under an existing
-// budget state, owning the recovery boundary.
-func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
+// budget state, owning the recovery boundary. span (nil-safe) receives
+// partition and per-group child spans.
+func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.Span) (plan *Plan, err error) {
 	var incumbent *Plan
 	defer func() {
 		if r := recover(); r != nil {
@@ -105,7 +109,10 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState) (plan *Pla
 		gamma = 1
 	}
 
+	partSpan := span.StartChild("partition")
 	groups := partitionBudget(in, gamma, d.MaxGroupResults, bs)
+	partSpan.SetAttr("groups", int64(len(groups)))
+	partSpan.End()
 	nodes := 0
 	totalNeed := in.Need - e.nSat
 	if totalNeed <= 0 {
@@ -195,7 +202,7 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState) (plan *Pla
 				// solveGroup never panics: both budget unwinds and real
 				// panics are recovered at the group boundary, so one bad
 				// group cannot kill a worker (or leak its siblings).
-				t.plan, t.nodes, t.err = d.solveGroup(t.sub, bs)
+				t.plan, t.nodes, t.err = d.solveGroup(t.sub, bs, span)
 			}
 		}()
 	}
@@ -282,7 +289,21 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState) (plan *Pla
 // plan with a non-nil error when the group degraded but the cheaper
 // fallback (greedy without refinement, or greedy instead of the exact
 // search) still produced a usable plan.
-func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState) (plan *Plan, nodes int, gerr error) {
+func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState, parent *obs.Span) (plan *Plan, nodes int, gerr error) {
+	// Group spans attach to the shared solve span; Span.StartChild is
+	// concurrency-safe, so parallel workers need no extra coordination.
+	gs := parent.StartChild("group")
+	gs.SetAttr("results", int64(len(sub.Results)))
+	gs.SetAttr("tuples", int64(len(sub.Base)))
+	// Runs after the recovery boundary below (defers are LIFO), so it
+	// records the degradation the recovery produced.
+	defer func() {
+		gs.SetAttr("nodes", int64(nodes))
+		if gerr != nil {
+			gs.SetStatus(gerr.Error())
+		}
+		gs.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			if stop, ok := r.(budgetStop); ok {

@@ -119,9 +119,11 @@ func (g *Greedy) Solve(in *Instance) (*Plan, error) {
 // feasible snapshot (tagged Plan.Partial, missing only refinement)
 // together with a *BudgetExceededError; interruption during phase 1
 // returns (nil, *BudgetExceededError) since no feasible plan exists yet.
-func (g *Greedy) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
+func (g *Greedy) SolveContext(ctx context.Context, in *Instance, b Budget) (plan *Plan, err error) {
 	bs, cancel := newBudgetState(g.Name(), ctx, b)
 	defer cancel()
+	span := startSolveSpan(ctx, g.Name())
+	defer func() { finishSolveSpan(span, bs, plan, err) }()
 	return g.solveBudget(in, bs)
 }
 

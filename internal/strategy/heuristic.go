@@ -86,12 +86,14 @@ func (h *Heuristic) Solve(in *Instance) (*Plan, error) {
 // deadline or budget exhaustion it returns the best incumbent found so
 // far (the greedy seed or the best DFS solution, tagged Plan.Partial)
 // together with a *BudgetExceededError.
-func (h *Heuristic) SolveContext(ctx context.Context, in *Instance, b Budget) (*Plan, error) {
+func (h *Heuristic) SolveContext(ctx context.Context, in *Instance, b Budget) (plan *Plan, err error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	bs, cancel := newBudgetState(h.Name(), ctx, b)
 	defer cancel()
+	span := startSolveSpan(ctx, h.Name())
+	defer func() { finishSolveSpan(span, bs, plan, err) }()
 	return h.solveBudget(in, bs)
 }
 

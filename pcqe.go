@@ -42,6 +42,7 @@ import (
 	"pcqe/internal/core"
 	"pcqe/internal/cost"
 	"pcqe/internal/lineage"
+	"pcqe/internal/obs"
 	"pcqe/internal/policy"
 	"pcqe/internal/relation"
 	"pcqe/internal/sql"
@@ -89,6 +90,33 @@ func NewEngine(catalog *Catalog, policies *PolicyStore, solver Solver) *Engine {
 
 // NewAdvisor builds a lead-time advisor.
 var NewAdvisor = core.NewAdvisor
+
+// --- Observability ---
+
+// Metrics is the engine's counter/gauge/histogram registry (attach with
+// Engine.SetMetrics; inspect with Metrics.Snapshot or publish to
+// expvar).
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a point-in-time copy of a registry's values.
+type MetricsSnapshot = obs.Snapshot
+
+// Span is one timed request phase; Response.Timings is the root of a
+// request's span tree.
+type Span = obs.Span
+
+// Tracer retains request span trees (attach with Engine.SetTracer).
+type Tracer = obs.Tracer
+
+// RingTracer retains the most recent request spans in a ring buffer.
+type RingTracer = obs.RingTracer
+
+// NewMetrics creates an empty metrics registry.
+var NewMetrics = obs.New
+
+// NewRingTracer creates a ring-buffer tracer (capacity <= 0 selects the
+// default).
+var NewRingTracer = obs.NewRingTracer
 
 // --- Relational engine ---
 
