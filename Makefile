@@ -4,7 +4,7 @@
 # the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet lint build test race differential bench obs-smoke
+.PHONY: check vet lint build test race differential bench bench-parallel obs-smoke
 
 check: vet lint build race differential obs-smoke
 
@@ -51,6 +51,13 @@ obs-smoke:
 	echo "$$out" | grep -q 'engine.queries 1' || { echo "obs-smoke: metrics snapshot missing engine.queries"; echo "$$out"; exit 1; }; \
 	echo "obs-smoke: ok"
 
-# Greedy phase-1 gain evaluation: compiled kernels vs legacy tree walk.
+# Greedy phase-1 gain evaluation (compiled kernels vs legacy tree walk)
+# plus the parallel D&C worker-pool scaling benchmark.
 bench:
-	$(GO) test -run xxx -bench BenchmarkCompiledVsTreewalk -benchtime 3x .
+	$(GO) test -run xxx -bench 'BenchmarkCompiledVsTreewalk|BenchmarkDnCParallel' -benchtime 3x .
+
+# Worker-pool scaling across GOMAXPROCS settings: the serial and
+# fixed-width variants must not regress at -cpu 1, and workersAuto must
+# track the core count upward.
+bench-parallel:
+	$(GO) test -run xxx -bench BenchmarkDnCParallel -benchtime 3x -cpu 1,2,4 .

@@ -278,6 +278,27 @@ func BenchmarkAblationParallelDnc(b *testing.B) {
 	})
 }
 
+// BenchmarkDnCParallel drives the D&C worker pool at Table 4 defaults;
+// run with -cpu 1,2,4 (`make bench-parallel`) to measure it across
+// GOMAXPROCS settings. workersAuto sizes the pool to GOMAXPROCS (the
+// -workers 0 default) so it tracks -cpu; the fixed-width variants pin
+// the pool independent of -cpu to separate queueing overhead from real
+// parallelism. Every variant produces a bit-identical plan.
+func BenchmarkDnCParallel(b *testing.B) {
+	mk := func() *strategy.Instance { return genInstance(b, 10000, 5, 1) }
+	b.Run("serial", func(b *testing.B) {
+		solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, Workers: 1}, mk)
+	})
+	b.Run("workersAuto", func(b *testing.B) {
+		solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, Parallel: true}, mk)
+	})
+	for _, w := range []int{2, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			solveB(b, &strategy.DivideAndConquer{Gamma: 1, Tau: 8, MaxGroupResults: 64, Workers: w}, mk)
+		})
+	}
+}
+
 // --- Compiled lineage kernels vs the legacy tree walk. ---
 
 // BenchmarkCompiledVsTreewalk times greedy phase 1 (the gain-evaluation

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	benchrunner [-fig all|table4|11a..11f|ablations] [-full] [-seed N]
+//	benchrunner [-fig all|table4|11a..11f|ablations|parallel] [-full]
+//	            [-seed N] [-workers N]
 //	            [-cpuprofile f] [-memprofile f] [-debug-listen addr]
 package main
 
@@ -26,18 +27,23 @@ func main() {
 	fig := flag.String("fig", "all", "experiment to run: "+strings.Join(bench.Names(), ", "))
 	full := flag.Bool("full", false, "run the paper's complete parameter grid (slow)")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	workers := flag.Int("workers", 0, "worker-pool width for the parallel scaling experiment's size sweep (0 = GOMAXPROCS)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	debugListen := flag.String("debug-listen", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	if err := run(*fig, *full, *seed, *cpuProfile, *memProfile, *debugListen); err != nil {
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: -workers must be non-negative, got %d (0 = GOMAXPROCS, 1 = serial)\n", *workers)
+		os.Exit(1)
+	}
+	if err := run(*fig, *full, *seed, *workers, *cpuProfile, *memProfile, *debugListen); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, full bool, seed int64, cpuProfile, memProfile, debugListen string) error {
+func run(fig string, full bool, seed int64, workers int, cpuProfile, memProfile, debugListen string) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -73,7 +79,7 @@ func run(fig string, full bool, seed int64, cpuProfile, memProfile, debugListen 
 		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", debugListen)
 	}
 
-	opt := bench.Options{Full: full, Seed: seed}
+	opt := bench.Options{Full: full, Seed: seed, Workers: workers}
 	tables, err := bench.Run(fig, opt)
 	if err != nil {
 		return err

@@ -59,6 +59,7 @@ func run() error {
 	minFrac := flag.Float64("min", 0, "θ: fraction of results required (enables improvement proposals)")
 	apply := flag.Bool("apply", false, "apply the improvement proposal and re-run the query")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the request; improvement planning degrades to a partial proposal when it expires (0 = no limit)")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel improvement planning (0 = GOMAXPROCS, 1 = serial); plans are identical for every value")
 	execScript := flag.String("exec", "", "SQL script file to execute before the query (CREATE TABLE / INSERT ... WITH CONFIDENCE / UPDATE / DELETE)")
 	trace := flag.Bool("trace", false, "dump the request's phase-timing span tree to stderr")
 	metricsDump := flag.Bool("metrics", false, "dump the engine metrics snapshot to stderr")
@@ -77,6 +78,13 @@ func run() error {
 	})
 	if timeoutSet && *timeout <= 0 {
 		return fmt.Errorf("-timeout must be positive, got %v (omit the flag for no limit)", *timeout)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d (0 = GOMAXPROCS, 1 = serial)", *workers)
+	}
+	nworkers := *workers
+	if nworkers == 0 {
+		nworkers = runtime.GOMAXPROCS(0)
 	}
 
 	if flag.NArg() != 1 {
@@ -186,7 +194,7 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", *debugListen)
 	}
 
-	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac, Timeout: *timeout}
+	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac, Timeout: *timeout, Workers: nworkers}
 	resp, err := engine.Evaluate(req)
 	if err != nil {
 		return err

@@ -63,6 +63,29 @@ func (s *solver) bookkeeping(xs []float64) float64 {
 	return total
 }
 
+// workerQueueUnpolled models a parallel worker draining a task channel
+// without ever reaching a checkpoint: the analyzer must flag it, since a
+// worker goroutine that cannot observe budget exhaustion would keep its
+// siblings (and the whole solve) alive past the deadline.
+func (s *solver) workerQueueUnpolled(queue chan int) int {
+	total := 0
+	for t := range queue { // want `never reaches a SolveContext checkpoint`
+		total += work() * t
+	}
+	return total
+}
+
+// workerQueuePolled is the worker-pool shape the D&C driver uses: every
+// dequeued task passes a checkpoint before (and during) its solve.
+func (s *solver) workerQueuePolled(queue chan int) int {
+	total := 0
+	for t := range queue {
+		s.bs.poll()
+		total += work() * t
+	}
+	return total
+}
+
 // suppressed documents an intentionally unbudgeted loop.
 func (s *solver) suppressed(n int) int {
 	total := 0

@@ -94,6 +94,9 @@ type Options struct {
 	Full bool
 	// Seed makes workloads reproducible.
 	Seed int64
+	// Workers sets the D&C worker-pool width for the parallel scaling
+	// experiment's size sweep (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptions returns the quick configuration with seed 1.
@@ -414,6 +417,8 @@ func Run(name string, opt Options) ([]*Table, error) {
 	case "pipeline":
 		t, err := FrameworkOverhead(opt)
 		return []*Table{t}, err
+	case "parallel":
+		return FigParallel(opt)
 	case "all":
 		var out []*Table
 		out = append(out, Table4())
@@ -443,14 +448,19 @@ func Run(name string, opt Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return append(out, pipe), nil
+		out = append(out, pipe)
+		par, err := FigParallel(opt)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, par...), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (try table4, 11a..11f, ablations, all)", name)
 }
 
 // Names lists all experiment names Run accepts, sorted.
 func Names() []string {
-	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "compiled", "pipeline", "all"}
+	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "compiled", "pipeline", "parallel", "all"}
 	sort.Strings(names)
 	return names
 }

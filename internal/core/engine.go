@@ -76,6 +76,12 @@ type Request struct {
 	// returned. 0 = no limit. It combines with any deadline already on
 	// the context passed to EvaluateContext (the earlier wins).
 	Timeout time.Duration
+	// Workers sizes the worker pool of a parallel-capable improvement
+	// solver (divide-and-conquer group sub-solves) for this request:
+	// 0 keeps the engine solver's own configuration, 1 forces serial,
+	// n > 1 uses n workers. The plan is bit-identical for every value;
+	// only wall-clock changes. Negative values are rejected.
+	Workers int
 }
 
 // Row is one query result with its computed confidence.
@@ -150,6 +156,9 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	if math.IsNaN(req.MinFraction) || req.MinFraction < 0 || req.MinFraction > 1 {
 		return nil, fmt.Errorf("core: min fraction θ=%g outside [0,1]", req.MinFraction)
 	}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("core: workers must be non-negative, got %d (0 = solver default, 1 = serial)", req.Workers)
+	}
 	if req.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
@@ -205,7 +214,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 		if need := resp.Need(req); need > 0 {
 			stratSpan := root.StartChild("strategy")
 			stratSpan.SetAttr("need", int64(need))
-			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need)
+			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need, req.Workers)
 			switch {
 			case err == nil || errors.Is(err, strategy.ErrInfeasible):
 				// prop is nil on infeasibility: nothing to offer.
@@ -237,6 +246,16 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 			Kind: AuditDegrade, User: req.User, Purpose: req.Purpose,
 			Query: req.Query, Beta: resp.Threshold,
 			Partial: resp.Proposal != nil, Detail: resp.Degraded.Error(),
+		})
+	} else if resp.Proposal != nil && resp.Proposal.DegradedGroups() > 0 {
+		// Group-level degradation: the divide-and-conquer driver absorbed
+		// panicking or budget-starved group sub-solves into a still-valid
+		// overall plan (no solve error), which would otherwise leave no
+		// audit trail of the skipped groups.
+		e.recordAudit(AuditEvent{
+			Kind: AuditDegrade, User: req.User, Purpose: req.Purpose,
+			Query: req.Query, Beta: resp.Threshold, Partial: true,
+			Detail: fmt.Sprintf("%d divide-and-conquer group sub-solve(s) degraded", resp.Proposal.DegradedGroups()),
 		})
 	}
 	if resp.Proposal != nil {

@@ -47,6 +47,13 @@ func (p *Proposal) Skipped() int { return p.skipped }
 // a full solve would.
 func (p *Proposal) Partial() bool { return p.partial }
 
+// DegradedGroups reports how many divide-and-conquer group sub-solves
+// behind the plan panicked or exhausted their budget and were skipped
+// or served by a cheaper fallback (0 for other solvers and clean
+// solves). The engine journals an audit event when it is non-zero, so
+// silently absorbed group failures stay reviewable.
+func (p *Proposal) DegradedGroups() int { return p.plan.Degraded }
+
 // Increment is one suggested confidence raise.
 type Increment struct {
 	Var  lineage.Var
@@ -83,8 +90,9 @@ func (p *Proposal) Increments() []Increment {
 // deadline or budget but still produced an anytime incumbent, propose
 // returns that plan as a partial Proposal alongside the
 // *strategy.BudgetExceededError so the caller can degrade instead of
-// fail.
-func (e *Engine) propose(ctx context.Context, resp *Response, need int) (*Proposal, error) {
+// fail. workers sizes a parallel-capable solver's group worker pool
+// (Request.Workers: 0 keeps the solver's configuration).
+func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int) (*Proposal, error) {
 	in := &strategy.Instance{
 		Beta: resp.Threshold + betaMargin,
 		// The paper's evaluation grid uses δ=0.1; keep it as the
@@ -142,7 +150,9 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need int) (*Propos
 		return nil, strategy.ErrInfeasible
 	}
 	in.Need = need
-	plan, err := strategy.SolveContext(ctx, e.solver, in, strategy.Budget{})
+	budget := strategy.Budget{Workers: workers}
+	e.metrics.Gauge("engine.solver.workers").Set(int64(strategy.EffectiveWorkers(e.solver, budget)))
+	plan, err := strategy.SolveContext(ctx, e.solver, in, budget)
 	if plan == nil && err != nil {
 		return nil, err
 	}
@@ -299,7 +309,17 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 	shared.SetAttr("queries", int64(len(blocks)))
 	shared.SetAttr("need", int64(totalNeed))
 	sctx := obs.ContextWithSpan(ctx, shared)
-	plan, err := strategy.SolveContext(sctx, e.solver, combined, strategy.Budget{})
+	// The shared solve serves every query at once; give it the widest
+	// worker pool any participating request asked for.
+	workers := 0
+	for _, req := range reqs {
+		if req.Workers > workers {
+			workers = req.Workers
+		}
+	}
+	budget := strategy.Budget{Workers: workers}
+	e.metrics.Gauge("engine.solver.workers").Set(int64(strategy.EffectiveWorkers(e.solver, budget)))
+	plan, err := strategy.SolveContext(sctx, e.solver, combined, budget)
 	if err != nil && isDegradation(err) {
 		// The shared solve was cut short by the deadline, a budget, or a
 		// recovered solver fault. That is a reviewable policy decision:
@@ -323,7 +343,7 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 		shared.End()
 		return resps, nil, nil // no feasible shared plan; responses stand alone
 	}
-	plan = topUpBlocks(sctx, e, combined, plan, blocks)
+	plan = topUpBlocks(sctx, e, combined, plan, blocks, workers)
 	shared.End()
 	prop := &Proposal{
 		instance: combined, plan: plan, solver: e.solver.Name(),
@@ -373,7 +393,7 @@ type queryBlock struct{ first, count, need int }
 // topUpBlocks ensures every query block meets its own need under the
 // combined plan; blocks that fall short are re-solved locally starting
 // from the combined confidences, then merged (max per tuple).
-func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock) *strategy.Plan {
+func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock, workers int) *strategy.Plan {
 	assign := func(p []float64) lineage.Assignment {
 		idx := map[lineage.Var]int{}
 		for i, b := range combined.Base {
@@ -418,7 +438,7 @@ func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, pl
 		// A block solve cut short may still carry an anytime incumbent:
 		// salvage it (the merged plan only improves) and record that the
 		// result is partial, instead of discarding it with the error.
-		sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{})
+		sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{Workers: workers})
 		if sp != nil {
 			if err != nil || sp.Partial {
 				partial = true

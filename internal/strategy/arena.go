@@ -1,0 +1,91 @@
+package strategy
+
+// arena is a per-worker scratch allocator for the parallel D&C path.
+// Each worker goroutine owns one arena and resets it between group
+// sub-solves, so the evaluator state built for every group (probability
+// vectors, derivative rows, slot buffers) reuses one slab instead of
+// allocating per group. Allocation is bump-pointer with geometric slab
+// growth; reset just rewinds the offsets, keeping the largest slab ever
+// needed warm for the next group.
+//
+// Safety rules:
+//   - Segments are handed out with full three-index slicing, so an
+//     append on one segment can never bleed into its neighbour.
+//   - Growing allocates a fresh backing slab; segments handed out from
+//     the old slab stay valid (they keep the old backing alive) — only
+//     reuse after reset is forbidden, which the evaluator lifecycle
+//     guarantees (an evaluator never outlives the group it was built
+//     for; plan snapshots copy onto the heap).
+//   - Every segment is zeroed on allocation, because a recycled slab
+//     still holds the previous group's values and evaluator correctness
+//     (and serial/parallel bit-identity) depends on zero-initialised
+//     state exactly like make() provides.
+//
+// A nil *arena is valid and falls back to plain make(), so every
+// arena-aware constructor also serves the ordinary heap path.
+type arena struct {
+	floatBuf []float64
+	floatOff int
+	boolBuf  []bool
+	boolOff  int
+}
+
+// newArena returns an empty arena; slabs grow on first use.
+func newArena() *arena { return &arena{} }
+
+// reset rewinds the arena so the next group's allocations reuse the
+// slabs. Previously handed-out segments must no longer be in use.
+func (a *arena) reset() {
+	if a == nil {
+		return
+	}
+	a.floatOff = 0
+	a.boolOff = 0
+}
+
+// grow returns the new slab size for a request of n elements on a slab
+// currently len elements long.
+func grow(len, n int) int {
+	size := 2 * len
+	if size < n {
+		size = n
+	}
+	if size < 1024 {
+		size = 1024
+	}
+	return size
+}
+
+// floats returns a zeroed []float64 of length n from the arena.
+func (a *arena) floats(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	if a.floatOff+n > len(a.floatBuf) {
+		a.floatBuf = make([]float64, grow(len(a.floatBuf), n))
+		a.floatOff = 0
+	}
+	seg := a.floatBuf[a.floatOff : a.floatOff+n : a.floatOff+n]
+	a.floatOff += n
+	for i := range seg {
+		seg[i] = 0
+	}
+	return seg
+}
+
+// bools returns a zeroed []bool of length n from the arena.
+func (a *arena) bools(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	if a.boolOff+n > len(a.boolBuf) {
+		a.boolBuf = make([]bool, grow(len(a.boolBuf), n))
+		a.boolOff = 0
+	}
+	seg := a.boolBuf[a.boolOff : a.boolOff+n : a.boolOff+n]
+	a.boolOff += n
+	for i := range seg {
+		seg[i] = false
+	}
+	return seg
+}

@@ -48,6 +48,13 @@ type Budget struct {
 	// MaxSteps bounds δ-grid confidence step applications (greedy
 	// increase/refinement, D&C combination repair). 0 = unlimited.
 	MaxSteps int
+	// Workers overrides, for this solve only, the number of worker
+	// goroutines a parallel-capable solver (DivideAndConquer) uses for
+	// independent group sub-solves: 0 keeps the solver's own
+	// configuration, 1 forces serial, n > 1 uses n workers. Group plans
+	// merge in deterministic group order, so the resulting plan is
+	// bit-identical for every value.
+	Workers int
 }
 
 // Budget resource names reported by BudgetExceededError.Resource.
@@ -166,6 +173,14 @@ type budgetStop struct{ cause *BudgetExceededError }
 // work counters, the stop flag, and the first exhaustion cause. A nil
 // *budgetState is valid and means "unbudgeted": every method is a no-op,
 // so the plain Solve path pays nothing.
+//
+// Parallel solves fan the state out through worker children (see
+// worker): each child counts its own goroutine's work locally while
+// forwarding every increment to the shared root, which alone owns the
+// limits, the stop flag, the drain flag and the exhaustion cause. The
+// root's counters therefore always equal the sum of its children's (plus
+// its own direct work), with no gaps — the property the per-worker
+// observability spans report and the race tests pin.
 type budgetState struct {
 	solver string
 	done   <-chan struct{}
@@ -173,6 +188,11 @@ type budgetState struct {
 
 	maxNodes, maxPivots, maxSteps int64
 	nodes, pivots, steps          atomic.Int64
+
+	// parent links a worker child back to the solve's root state; nil on
+	// the root itself. Only counters live on children — every control
+	// field below is read and written through root().
+	parent *budgetState
 
 	// stopped flips once; all subsequent checkpoints unwind immediately,
 	// which is how exhaustion in one D&C worker goroutine winds down its
@@ -183,6 +203,31 @@ type budgetState struct {
 
 	mu    sync.Mutex
 	cause *BudgetExceededError
+}
+
+// root returns the state that owns the limits, stop/drain flags and the
+// exhaustion cause: the receiver itself for a solve's root state, the
+// shared parent for a worker child.
+func (s *budgetState) root() *budgetState {
+	if s.parent != nil {
+		return s.parent
+	}
+	return s
+}
+
+// worker derives a per-goroutine child view of the state for one D&C
+// worker (or for the driver's own share of a parallel solve). Counter
+// increments land both on the child — per-worker attribution for the
+// observability spans — and on the shared root, which owns the limits,
+// so a global budget bounds the sum of all workers' work and exhaustion
+// detected through any child stops every sibling at its next
+// checkpoint. A nil receiver stays nil: the unbudgeted path costs
+// nothing in parallel mode too.
+func (s *budgetState) worker() *budgetState {
+	if s == nil {
+		return nil
+	}
+	return &budgetState{solver: s.solver, parent: s.root()}
 }
 
 // newBudgetState builds the state for one solve. The returned cancel
@@ -211,46 +256,70 @@ func newBudgetState(solver string, ctx context.Context, b Budget) (*budgetState,
 }
 
 // poll is the basic cooperative checkpoint: it unwinds if the solve was
-// already stopped or the context is done.
+// already stopped or the context is done. All control state lives on the
+// root, so a worker child polls its parent's flags — exhaustion anywhere
+// stops every goroutine of the solve at its next checkpoint.
 func (s *budgetState) poll() {
-	if s == nil || s.draining.Load() {
+	if s == nil {
 		return
 	}
-	if s.stopped.Load() {
-		s.fail("", nil)
+	r := s.root()
+	if r.draining.Load() {
+		return
 	}
-	if s.done != nil {
+	if r.stopped.Load() {
+		r.fail("", nil)
+	}
+	if r.done != nil {
 		select {
-		case <-s.done:
-			err := s.ctxErr()
+		case <-r.done:
+			err := r.ctxErr()
 			res := ResourceCanceled
 			if errors.Is(err, context.DeadlineExceeded) {
 				res = ResourceDeadline
 			}
-			s.fail(res, err)
+			r.fail(res, err)
 		default:
 		}
 	}
 }
 
-// node counts one search-node expansion, then polls.
+// node counts one search-node expansion, then polls. Worker children
+// record the increment locally (per-worker span attribution) and on the
+// root, whose counter enforces the global limit; both adds happen before
+// any unwind, so the root total always equals the sum of its children —
+// including the increment that trips the limit.
 func (s *budgetState) node() {
-	if s == nil || s.draining.Load() {
+	if s == nil {
 		return
 	}
-	if n := s.nodes.Add(1); s.maxNodes > 0 && n > s.maxNodes {
-		s.fail(ResourceNodes, nil)
+	r := s.root()
+	if r.draining.Load() {
+		return
+	}
+	if s != r {
+		s.nodes.Add(1)
+	}
+	if n := r.nodes.Add(1); r.maxNodes > 0 && n > r.maxNodes {
+		r.fail(ResourceNodes, nil)
 	}
 	s.poll()
 }
 
 // step counts one δ-grid confidence step, then polls.
 func (s *budgetState) step() {
-	if s == nil || s.draining.Load() {
+	if s == nil {
 		return
 	}
-	if n := s.steps.Add(1); s.maxSteps > 0 && n > s.maxSteps {
-		s.fail(ResourceSteps, nil)
+	r := s.root()
+	if r.draining.Load() {
+		return
+	}
+	if s != r {
+		s.steps.Add(1)
+	}
+	if n := r.steps.Add(1); r.maxSteps > 0 && n > r.maxSteps {
+		r.fail(ResourceSteps, nil)
 	}
 	s.poll()
 }
@@ -261,31 +330,41 @@ func (s *budgetState) step() {
 // state is then inconsistent and must be discarded (solver boundaries
 // only ever return snapshots, never live evaluator state).
 func (s *budgetState) pivot(n int) {
-	if s == nil || s.draining.Load() {
+	if s == nil {
 		return
 	}
-	if c := s.pivots.Add(int64(n)); s.maxPivots > 0 && c > s.maxPivots {
-		s.fail(ResourcePivots, nil)
+	r := s.root()
+	if r.draining.Load() {
+		return
+	}
+	if s != r {
+		s.pivots.Add(int64(n))
+	}
+	if c := r.pivots.Add(int64(n)); r.maxPivots > 0 && c > r.maxPivots {
+		r.fail(ResourcePivots, nil)
 	}
 	s.poll()
 }
 
-// fail records the first exhaustion cause and unwinds the calling
-// goroutine with a budgetStop panic.
+// fail records the first exhaustion cause on the root and unwinds the
+// calling goroutine with a budgetStop panic (each goroutine must unwind
+// its own stack, so a worker that trips the shared limit panics locally
+// and its siblings follow at their next checkpoint).
 func (s *budgetState) fail(resource string, err error) {
-	s.mu.Lock()
-	if s.cause == nil {
+	r := s.root()
+	r.mu.Lock()
+	if r.cause == nil {
 		if resource == "" {
 			resource = ResourceCanceled
 		}
-		s.cause = &BudgetExceededError{
-			Solver: s.solver, Resource: resource, Err: err,
-			Nodes: s.nodes.Load(), Pivots: s.pivots.Load(), Steps: s.steps.Load(),
+		r.cause = &BudgetExceededError{
+			Solver: r.solver, Resource: resource, Err: err,
+			Nodes: r.nodes.Load(), Pivots: r.pivots.Load(), Steps: r.steps.Load(),
 		}
 	}
-	cause := s.cause
-	s.mu.Unlock()
-	s.stopped.Store(true)
+	cause := r.cause
+	r.mu.Unlock()
+	r.stopped.Store(true)
 	panic(budgetStop{cause})
 }
 
@@ -294,17 +373,19 @@ func (s *budgetState) exceeded() *BudgetExceededError {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cause
+	r := s.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cause
 }
 
 // drain puts the state into best-effort mode: checkpoints stop
 // unwinding, so a driver that already hit the budget can still combine
 // the finished pieces into an incumbent (bounded leftover work only).
+// Draining the state of any worker drains the whole solve.
 func (s *budgetState) drain() {
 	if s != nil {
-		s.draining.Store(true)
+		s.root().draining.Store(true)
 	}
 }
 
@@ -335,6 +416,26 @@ func finishSolveSpan(span *obs.Span, bs *budgetState, plan *Plan, err error) {
 	}
 	if err != nil {
 		span.SetStatus(err.Error())
+	}
+	span.End()
+}
+
+// finishWorkerSpan closes a per-worker span with the worker's own share
+// of the work counters — the child budgetState's local counters, not the
+// root totals — so the enclosing solve span's counter attributes
+// decompose exactly into the sum of its worker spans'. groups < 0 omits
+// the group-count attribute.
+func finishWorkerSpan(span *obs.Span, bs *budgetState, groups int) {
+	if span == nil {
+		return
+	}
+	if bs != nil {
+		span.SetAttr("nodes", bs.nodes.Load())
+		span.SetAttr("pivots", bs.pivots.Load())
+		span.SetAttr("steps", bs.steps.Load())
+	}
+	if groups >= 0 {
+		span.SetAttr("groups", int64(groups))
 	}
 	span.End()
 }

@@ -45,10 +45,15 @@ type DivideAndConquer struct {
 	// threshold"); merges that would exceed it are skipped. 0 = no cap.
 	MaxGroupResults int
 	// Parallel solves group sub-instances on GOMAXPROCS worker
-	// goroutines. Groups are independent, so plans stay valid; with
-	// tuples shared across groups the combined plan may differ slightly
-	// from the sequential one (both satisfy the instance).
+	// goroutines. Groups are independent and their plans merge in
+	// deterministic group order, so the combined plan is bit-identical
+	// to the serial one (pinned by the differential tests).
 	Parallel bool
+	// Workers pins the group-solve worker-pool size: 0 defers to
+	// Parallel (GOMAXPROCS when set, serial otherwise), 1 forces
+	// serial, n > 1 uses n workers regardless of Parallel.
+	// Budget.Workers overrides this per solve.
+	Workers int
 	// TreeWalk evaluates result formulas with the legacy tree walk
 	// instead of compiled lineage programs (differential testing and
 	// ablation only; plans are identical).
@@ -87,19 +92,66 @@ func (d *DivideAndConquer) SolveContext(ctx context.Context, in *Instance, b Bud
 	defer cancel()
 	span := startSolveSpan(ctx, d.Name())
 	defer func() { finishSolveSpan(span, bs, plan, err) }()
-	return d.solveBudget(in, bs, span)
+	return d.solveBudget(in, bs, span, d.effectiveWorkers(b))
+}
+
+// effectiveWorkers resolves the worker-pool size for one solve:
+// Budget.Workers overrides the solver's Workers field, which in turn
+// overrides the Parallel default (GOMAXPROCS when set, serial
+// otherwise). The result is always at least 1.
+func (d *DivideAndConquer) effectiveWorkers(b Budget) int {
+	w := b.Workers
+	if w == 0 {
+		w = d.Workers
+	}
+	if w == 0 && d.Parallel {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// EffectiveWorkers reports how many worker goroutines s will use for a
+// solve under b: parallel-capable solvers (DivideAndConquer) resolve
+// Budget.Workers against their own configuration; every other solver is
+// serial. The engine exports this as the engine.solver.workers gauge.
+func EffectiveWorkers(s Solver, b Budget) int {
+	if d, ok := s.(*DivideAndConquer); ok {
+		return d.effectiveWorkers(b)
+	}
+	return 1
 }
 
 // solveBudget runs the divide-and-conquer driver under an existing
 // budget state, owning the recovery boundary. span (nil-safe) receives
-// partition and per-group child spans.
-func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.Span) (plan *Plan, err error) {
+// partition and per-group child spans; workers (≥ 1) sizes the group
+// worker pool. The solve is deterministic for every worker count:
+// group sub-solves are pure functions of their sub-instance, and the
+// combination below merges their plans in task order, so the plan is
+// bit-identical to the serial one.
+func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.Span, workers int) (plan *Plan, err error) {
 	var incumbent *Plan
 	defer func() {
 		if r := recover(); r != nil {
 			plan, err = solveRecover(r, d.Name(), in, incumbent)
 		}
 	}()
+	parallel := workers > 1
+	if parallel {
+		span.SetAttr("workers", int64(workers))
+		// Attribute the driver's own lineage work (global evaluator,
+		// partition, combine, refine) to a "driver" child span with its
+		// own budget-state child, so the solve span's counters decompose
+		// exactly into driver + workers. The span closes before the
+		// recovery boundary above runs (defers are LIFO), so it survives
+		// budget unwinds too.
+		bs = bs.worker()
+		ds := span.StartChild("driver")
+		dbs := bs
+		defer func() { finishWorkerSpan(ds, dbs, -1) }()
+	}
 	e := newEvaluatorCtx(in, d.TreeWalk, bs)
 	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
@@ -137,20 +189,16 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.
 	// over-satisfies, and the refinement step removes the most
 	// expensive surplus increments. This deliberately trades extra
 	// per-group work for a cheaper combined plan.
-	type groupTask struct {
-		sub     *Instance
-		mapping []int
-		plan    *Plan
-		nodes   int
-		err     error // budget/panic degradation of this group's solve
-	}
-	tasks := make([]*groupTask, 0, len(groups))
+	tasks := make([]*dncTask, 0, len(groups))
 	for _, g := range groups {
 		bs.poll()
 		sub, mapping := g.subInstance(in)
 		// Already-satisfied group results come for free and still count
 		// toward the sub-instance's satisfied set, so the sub-need is
-		// free + however many new ones this group should contribute.
+		// free + however many new ones this group should contribute. The
+		// per-group feasibility probe (which may lower the target, or
+		// drop the group entirely) runs worker-side in solveGroup, so it
+		// parallelizes with the solves.
 		unsat, free := 0, 0
 		for _, ri := range g.Results {
 			if e.satisfied[ri] {
@@ -167,50 +215,48 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.
 			need = totalNeed
 		}
 		sub.Need = free + need
-		// One evaluator serves both the feasibility check and (when the
-		// target must be lowered) the satisfiable maximum.
-		if max := newEvaluatorCtx(sub, d.TreeWalk, bs).satAtMax(); max < sub.Need {
-			// Lower the group's target to what it can actually deliver.
-			if max <= free {
-				continue
-			}
-			sub.Need = max
-		}
-		tasks = append(tasks, &groupTask{sub: sub, mapping: mapping})
+		tasks = append(tasks, &dncTask{sub: sub, mapping: mapping, free: free})
 	}
 
-	// Solve every group, optionally in parallel: sub-instances are
-	// independent, so worker goroutines never share state; only the
-	// combination below is ordered.
-	workers := 1
-	if d.Parallel {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > len(tasks) {
-			workers = len(tasks)
+	// Solve every group on the worker pool: sub-instances are
+	// independent, so workers never share mutable state — each owns a
+	// scratch arena recycled across its groups and a budget-state child
+	// feeding the shared global budget — and only the combination below
+	// is ordered. Task results are slotted by pointer, so the combine
+	// loop reads them in deterministic task order regardless of which
+	// worker finished which group when.
+	if pool := min(workers, len(tasks)); parallel && pool > 1 {
+		var wg sync.WaitGroup
+		queue := make(chan *dncTask)
+		for w := 0; w < pool; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := span.StartChild("worker")
+				wbs := bs.worker()
+				ar := newArena()
+				done := 0
+				defer func() { finishWorkerSpan(ws, wbs, done) }()
+				for t := range queue {
+					// solveGroup never panics: both budget unwinds and real
+					// panics are recovered at the group boundary, so one bad
+					// group cannot kill a worker (or leak its siblings).
+					t.plan, t.nodes, t.err = d.solveGroup(t.sub, t.free, wbs, ws, ar)
+					done++
+				}
+			}()
 		}
-		if workers < 1 {
-			workers = 1
+		for _, t := range tasks {
+			queue <- t
+		}
+		close(queue)
+		wg.Wait()
+	} else {
+		ar := newArena()
+		for _, t := range tasks {
+			t.plan, t.nodes, t.err = d.solveGroup(t.sub, t.free, bs, span, ar)
 		}
 	}
-	var wg sync.WaitGroup
-	queue := make(chan *groupTask)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range queue {
-				// solveGroup never panics: both budget unwinds and real
-				// panics are recovered at the group boundary, so one bad
-				// group cannot kill a worker (or leak its siblings).
-				t.plan, t.nodes, t.err = d.solveGroup(t.sub, bs, span)
-			}
-		}()
-	}
-	for _, t := range tasks {
-		queue <- t
-	}
-	close(queue)
-	wg.Wait()
 
 	// If the budget ran out during the group solves, switch to
 	// best-effort mode: checkpoints stop unwinding so the (cheap,
@@ -280,16 +326,34 @@ func (d *DivideAndConquer) solveBudget(in *Instance, bs *budgetState, span *obs.
 	return p, nil
 }
 
-// solveGroup solves one sub-instance: greedy always, plus an exact
-// greedy-seeded heuristic search when the group is small (< τ tuples).
-// It is the isolation boundary of the divide-and-conquer driver: budget
-// unwinds and panics inside the group are recovered here and reported
-// as a typed error, so sibling groups keep solving. It returns
-// (nil, 0, nil) when the group is plainly infeasible, and a non-nil
-// plan with a non-nil error when the group degraded but the cheaper
-// fallback (greedy without refinement, or greedy instead of the exact
-// search) still produced a usable plan.
-func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState, parent *obs.Span) (plan *Plan, nodes int, gerr error) {
+// dncTask is one group sub-solve on the worker pool: the inputs the
+// driver prepared (sub-instance, parent-index mapping, count of group
+// results that are already satisfied) and the result slots the assigned
+// worker fills. The driver reads the slots only after the pool drains,
+// in deterministic task order.
+type dncTask struct {
+	sub     *Instance
+	mapping []int
+	free    int
+	plan    *Plan
+	nodes   int
+	err     error // budget/panic degradation of this group's solve
+}
+
+// solveGroup solves one sub-instance: feasibility probe first (dropping
+// the group or lowering its target to what it can deliver), then greedy
+// always, plus an exact greedy-seeded heuristic search when the group
+// is small (< τ tuples). It is the isolation boundary of the
+// divide-and-conquer driver: budget unwinds and panics inside the group
+// are recovered here and reported as a typed error, so sibling groups
+// keep solving. It returns (nil, 0, nil) when the group is plainly
+// infeasible or cannot contribute beyond its free results, and a
+// non-nil plan with a non-nil error when the group degraded but the
+// cheaper fallback (greedy without refinement, or greedy instead of the
+// exact search) still produced a usable plan. ar supplies the worker's
+// scratch arena (nil = heap); it is reset between the phases here and
+// must not be shared with a live evaluator.
+func (d *DivideAndConquer) solveGroup(sub *Instance, free int, bs *budgetState, parent *obs.Span, ar *arena) (plan *Plan, nodes int, gerr error) {
 	// Group spans attach to the shared solve span; Span.StartChild is
 	// concurrency-safe, so parallel workers need no extra coordination.
 	gs := parent.StartChild("group")
@@ -320,10 +384,23 @@ func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState, parent *ob
 	}()
 	fault.Probe(SiteDnCGroup)
 	bs.poll()
+	// Feasibility: one evaluator serves both the check and (when the
+	// target must be lowered) the satisfiable maximum.
+	ar.reset()
+	if max := newEvaluatorArena(sub, d.TreeWalk, bs, ar).satAtMax(); max < sub.Need {
+		if max <= free {
+			// The group cannot deliver anything beyond its already
+			// satisfied results; skip it entirely.
+			return nil, 0, nil
+		}
+		// Lower the group's target to what it can actually deliver.
+		sub.Need = max
+	}
 	// Incremental gain maintenance is the default for group solves: the
 	// plan is identical to the full rescan's (asserted by tests) and the
 	// dirty-propagation loop is strictly faster.
-	plan, err := (&Greedy{Incremental: true, TreeWalk: d.TreeWalk}).solveBudget(sub, bs)
+	ar.reset()
+	plan, err := (&Greedy{Incremental: true, TreeWalk: d.TreeWalk}).solveArena(sub, bs, ar)
 	if err != nil {
 		var bx *BudgetExceededError
 		if errors.As(err, &bx) && plan != nil {
@@ -338,7 +415,8 @@ func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState, parent *ob
 	}
 	nodes = plan.Nodes
 	if d.Tau > 0 && len(sub.Base) < d.Tau {
-		hp, hnodes, herr := d.groupHeuristic(sub, plan, bs)
+		ar.reset()
+		hp, hnodes, herr := d.groupHeuristic(sub, plan, bs, ar)
 		nodes += hnodes
 		if herr != nil {
 			// Graceful fallback: the exact search failed or ran out of
@@ -355,7 +433,7 @@ func (d *DivideAndConquer) solveGroup(sub *Instance, bs *budgetState, parent *ob
 // groupHeuristic runs the greedy-seeded exact search on a small group,
 // recovering budget unwinds and panics so the caller can fall back to
 // the greedy plan.
-func (d *DivideAndConquer) groupHeuristic(sub *Instance, seed *Plan, bs *budgetState) (plan *Plan, nodes int, err error) {
+func (d *DivideAndConquer) groupHeuristic(sub *Instance, seed *Plan, bs *budgetState, ar *arena) (plan *Plan, nodes int, err error) {
 	var hs *heuristicSearch
 	defer func() {
 		if r := recover(); r != nil {
@@ -375,12 +453,12 @@ func (d *DivideAndConquer) groupHeuristic(sub *Instance, seed *Plan, bs *budgetS
 		}
 	}()
 	h := &Heuristic{UseH1: true, UseH2: true, UseH3: true, UseH4: true, TreeWalk: d.TreeWalk}
-	hs = &heuristicSearch{Heuristic: h, in: sub, bs: bs, e: newEvaluatorCtx(sub, d.TreeWalk, bs), bestCost: seed.Cost, best: seed}
+	hs = &heuristicSearch{Heuristic: h, in: sub, bs: bs, ar: ar, e: newEvaluatorArena(sub, d.TreeWalk, bs, ar), bestCost: seed.Cost, best: seed}
 	hs.order = make([]int, len(sub.Base))
 	for i := range hs.order {
 		hs.order[i] = i
 	}
-	cb := costBetas(sub, d.TreeWalk, bs)
+	cb := costBetas(sub, d.TreeWalk, bs, ar)
 	sort.SliceStable(hs.order, func(a, b int) bool { return cb[hs.order[a]] > cb[hs.order[b]] })
 	hs.prepare()
 	hs.dfs(0, 0)
@@ -475,8 +553,8 @@ func Partition(in *Instance, gamma, maxResults int) []Group {
 }
 
 // partitionBudget is Partition with cooperative cancellation: the merge
-// loop (quadratic in groups for dense sharing graphs) polls bs once per
-// merge round.
+// loop polls bs once per heap pop, so even degenerate sharing graphs
+// observe deadlines promptly.
 func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Group {
 	n := len(in.Results)
 	varIdx := map[int]int{}
@@ -537,38 +615,71 @@ func partitionBudget(in *Instance, gamma, maxResults int, bs *budgetState) []Gro
 	}
 
 	// Iteratively merge the heaviest group pair. Group-pair weights are
-	// maintained lazily: recompute from surviving result edges.
-	type gedge struct{ a, b int }
-	for {
+	// maintained incrementally: adj[r] maps a live root to the summed
+	// result-edge weight connecting it to each neighboring root, and a
+	// lazy max-heap orders candidate pairs. A popped entry is applied
+	// only when both endpoints are still roots and its weight is still
+	// current; merging b into a folds b's adjacency into a's and pushes
+	// the refreshed pairs. The selection rule — maximum weight, ties
+	// broken by the smallest (a, b) root pair — matches the previous
+	// full-rescan implementation exactly, so the resulting partition is
+	// identical; this version just drops the per-merge rescan that made
+	// partitioning quadratic in the result count and the bottleneck of
+	// million-tuple solves.
+	adj := make([]map[int]int, n)
+	at := func(r int) map[int]int {
+		if adj[r] == nil {
+			adj[r] = map[int]int{}
+		}
+		return adj[r]
+	}
+	var heap pairHeap
+	for e2, w := range weight {
+		bs.poll()
+		a, b := e2.a, e2.b
+		at(a)[b] = w
+		at(b)[a] = w
+		heap.push(pairEntry{w: w, a: a, b: b})
+	}
+	for heap.len() > 0 {
 		fault.Probe(SiteDnCPartition)
 		bs.poll()
-		gw := map[gedge]int{}
-		for e2, w := range weight {
-			ra, rb := find(e2.a), find(e2.b)
-			if ra == rb {
-				continue
-			}
-			if ra > rb {
-				ra, rb = rb, ra
-			}
-			gw[gedge{ra, rb}] += w
+		top := heap.pop()
+		if top.w < gamma {
+			break // nothing eligible can beat it: weights below γ never merge
 		}
-		bestW, bestA, bestB := 0, -1, -1
-		for ge, w := range gw {
-			if maxResults > 0 && size[ge.a]+size[ge.b] > maxResults {
-				continue
-			}
-			if w > bestW || (w == bestW && (bestA < 0 || ge.a < bestA || (ge.a == bestA && ge.b < bestB))) {
-				bestW, bestA, bestB = w, ge.a, ge.b
-			}
+		a, b := top.a, top.b
+		if find(a) != a || find(b) != b {
+			continue // stale: an endpoint was merged away
 		}
-		if bestA < 0 || bestW < gamma {
-			break
+		if adj[a][b] != top.w {
+			continue // stale: the pair was re-pushed with a newer weight
+		}
+		if maxResults > 0 && size[a]+size[b] > maxResults {
+			// Sizes only grow, so the pair is permanently ineligible; drop
+			// this entry (future re-pushes are rejected the same way).
+			continue
 		}
 		// Union by attaching the higher root under the lower for
 		// deterministic group identities.
-		parent[bestB] = bestA
-		size[bestA] += size[bestB]
+		parent[b] = a
+		size[a] += size[b]
+		delete(adj[a], b)
+		for c, wbc := range adj[b] {
+			if c == a {
+				continue
+			}
+			delete(adj[c], b)
+			nw := at(a)[c] + wbc
+			adj[a][c] = nw
+			adj[c][a] = nw
+			lo, hi := a, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			heap.push(pairEntry{w: nw, a: lo, b: hi})
+		}
+		adj[b] = nil
 	}
 
 	byRoot := map[int][]int{}

@@ -130,13 +130,20 @@ func (g *Greedy) SolveContext(ctx context.Context, in *Instance, b Budget) (plan
 // solveBudget runs the algorithm under an existing budget state, owning
 // the recovery boundary.
 func (g *Greedy) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
+	return g.solveArena(in, bs, nil)
+}
+
+// solveArena is solveBudget with the evaluator's scratch drawn from a
+// per-worker arena (nil = heap); the parallel D&C group solves pass
+// their worker's arena so consecutive groups reuse one slab.
+func (g *Greedy) solveArena(in *Instance, bs *budgetState, ar *arena) (plan *Plan, err error) {
 	var incumbent *Plan
 	defer func() {
 		if r := recover(); r != nil {
 			plan, err = solveRecover(r, g.Name(), in, incumbent)
 		}
 	}()
-	return g.solveCore(in, bs, &incumbent)
+	return g.solveCore(in, bs, &incumbent, ar)
 }
 
 // solveCore is the two-phase algorithm itself. Budget exhaustion
@@ -144,11 +151,11 @@ func (g *Greedy) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err err
 // incumbent receives feasible plan snapshots as they form so that
 // boundary can honor the anytime contract. With bs == nil the behavior
 // and cost are identical to the original unbudgeted solve.
-func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Plan, error) {
+func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan, ar *arena) (*Plan, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	e := newEvaluatorCtx(in, g.TreeWalk, bs)
+	e := newEvaluatorArena(in, g.TreeWalk, bs, ar)
 	if e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
@@ -180,6 +187,10 @@ func (g *Greedy) solveCore(in *Instance, bs *budgetState, incumbent **Plan) (*Pl
 	}
 
 	gains := make([]float64, len(in.Base))
+	// Warm every unsatisfied result's derivative row in one batched
+	// fused sweep before the initial gain sweep faults them in one by
+	// one; the rows are bit-identical to the lazy refresh.
+	e.primeDerivs()
 	// The initial gain sweep evaluates a lineage delta per tuple — as
 	// much work as a phase-1 pick — so it checkpoints like one.
 	for i := range in.Base {

@@ -58,7 +58,10 @@ type heuristicSearch struct {
 	e  *evaluator
 	// bs carries the solve's budget/cancellation state (nil when
 	// unbudgeted); dfs polls it at every node expansion.
-	bs    *budgetState
+	bs *budgetState
+	// ar supplies evaluator scratch (nil = heap); D&C group solves pass
+	// their worker's arena.
+	ar    *arena
 	order []int // variable order (base indices)
 	// maxEval mirrors the search state but keeps every *unassigned*
 	// variable at its maximum; its satisfied count is exactly H3's
@@ -101,10 +104,17 @@ func (h *Heuristic) SolveContext(ctx context.Context, in *Instance, b Budget) (p
 // the recovery boundary that converts budget unwinds and panics into
 // the anytime contract.
 func (h *Heuristic) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err error) {
+	return h.solveArena(in, bs, nil)
+}
+
+// solveArena is solveBudget with evaluator scratch drawn from a
+// per-worker arena (nil = heap).
+func (h *Heuristic) solveArena(in *Instance, bs *budgetState, ar *arena) (plan *Plan, err error) {
 	s := &heuristicSearch{
 		Heuristic: h,
 		in:        in,
 		bs:        bs,
+		ar:        ar,
 		bestCost:  math.Inf(1),
 	}
 	defer func() {
@@ -115,7 +125,7 @@ func (h *Heuristic) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err 
 			}
 		}
 	}()
-	s.e = newEvaluatorCtx(in, h.TreeWalk, bs)
+	s.e = newEvaluatorArena(in, h.TreeWalk, bs, ar)
 	if s.e.satAtMax() < in.Need {
 		return nil, ErrInfeasible
 	}
@@ -126,7 +136,7 @@ func (h *Heuristic) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err 
 		s.order[i] = i
 	}
 	if h.UseH1 {
-		cb := costBetas(in, h.TreeWalk, bs)
+		cb := costBetas(in, h.TreeWalk, bs, ar)
 		sort.SliceStable(s.order, func(a, b int) bool {
 			return cb[s.order[a]] > cb[s.order[b]] // descending: costly near the root
 		})
@@ -138,7 +148,7 @@ func (h *Heuristic) solveBudget(in *Instance, bs *budgetState) (plan *Plan, err 
 		// The greedy seed shares this solve's budget; its feasible
 		// snapshots land in s.best as they form, so a budget unwind
 		// mid-seed still leaves the boundary an incumbent to return.
-		if gp, gerr := (&Greedy{Incremental: true, TreeWalk: h.TreeWalk}).solveCore(in, bs, &s.best); gerr == nil {
+		if gp, gerr := (&Greedy{Incremental: true, TreeWalk: h.TreeWalk}).solveCore(in, bs, &s.best, ar); gerr == nil {
 			s.best = gp
 			s.bestCost = gp.Cost
 		} else if s.best != nil {
@@ -185,7 +195,7 @@ func (s *heuristicSearch) prepare() {
 		s.minIncSuffix[d] = math.Min(s.minIncSuffix[d+1], s.cheapestInc[s.order[d]])
 	}
 	if s.UseH3 {
-		s.maxEval = newEvaluatorCtx(in, s.TreeWalk, s.bs)
+		s.maxEval = newEvaluatorArena(in, s.TreeWalk, s.bs, s.ar)
 		for i, b := range in.Base {
 			s.maxEval.setP(i, b.maxP())
 		}
@@ -304,8 +314,8 @@ func (s *heuristicSearch) dfs(depth int, costSoFar float64) {
 // where F_max is the best result confidence the tuple can reach. The
 // grid walk performs full formula evaluations, so it shares the solve's
 // budget state: a deadline can interrupt it via the pivot hook.
-func costBetas(in *Instance, treeWalk bool, bs *budgetState) []float64 {
-	e := newEvaluatorCtx(in, treeWalk, bs)
+func costBetas(in *Instance, treeWalk bool, bs *budgetState, ar *arena) []float64 {
+	e := newEvaluatorArena(in, treeWalk, bs, ar)
 	out := make([]float64, len(in.Base))
 	for bi, b := range in.Base {
 		out[bi] = costBetaOf(in, e, bi, b)

@@ -254,6 +254,21 @@ type evaluator struct {
 	derivRow  [][]float64
 	derivOK   []bool
 
+	// Batched kernel path: one lineage.Batch drives every compiled
+	// machine against the dense per-tuple confidence array e.p in a
+	// single sweep. The gather indices are basesOf — slot-ordered for
+	// compiled results — so a gathered input row is element-for-element
+	// the same as slotProbs[ri] and batched evaluation is bit-identical
+	// to the per-machine calls. batchIdx maps batch position to result
+	// index; batchOut and batchRows are the sweeps' reusable output and
+	// row-selection buffers; maxShared holds every tuple's maximum
+	// confidence for the batched feasibility probe.
+	batch     *lineage.Batch
+	batchIdx  []int
+	batchOut  []float64
+	batchRows [][]float64
+	maxShared []float64
+
 	// Tree-walk path (reference semantics): per-result derivative maps
 	// invalidated on recompute, read-once flags for the linear path.
 	derivs   []map[lineage.Var]float64
@@ -283,6 +298,18 @@ func newEvaluatorMode(in *Instance, treeWalk bool) *evaluator {
 // the solvers' deepest and potentially exponential loop — cooperatively
 // interruptible. bs == nil builds a plain unbudgeted evaluator.
 func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
+	return newEvaluatorArena(in, treeWalk, bs, nil)
+}
+
+// newEvaluatorArena is newEvaluatorCtx with the float/bool state drawn
+// from a per-worker arena: the parallel D&C path builds one evaluator
+// per group on the worker's arena and resets it between groups, so the
+// probability vectors, derivative rows and step caches reuse one slab
+// instead of being reallocated per group. The arena zeroes every
+// segment, so an arena-backed evaluator starts in exactly the state a
+// make()-backed one would — serial/parallel bit-identity depends on it.
+// ar == nil falls back to plain heap allocation.
+func newEvaluatorArena(in *Instance, treeWalk bool, bs *budgetState, ar *arena) *evaluator {
 	var hook func(int)
 	if bs != nil {
 		hook = func(n int) {
@@ -294,22 +321,22 @@ func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
 		in:         in,
 		treeWalk:   treeWalk,
 		bs:         bs,
-		p:          make([]float64, len(in.Base)),
-		resultProb: make([]float64, len(in.Results)),
-		satisfied:  make([]bool, len(in.Results)),
+		p:          ar.floats(len(in.Base)),
+		resultProb: ar.floats(len(in.Results)),
+		satisfied:  ar.bools(len(in.Results)),
 		resultsOf:  make([][]occ, len(in.Base)),
 		basesOf:    make([][]int, len(in.Results)),
 		varIdx:     make(map[lineage.Var]int, len(in.Base)),
-		compiled:   make([]bool, len(in.Results)),
+		compiled:   ar.bools(len(in.Results)),
 		machines:   make([]*lineage.Machine, len(in.Results)),
 		slotProbs:  make([][]float64, len(in.Results)),
 		derivRow:   make([][]float64, len(in.Results)),
-		derivOK:    make([]bool, len(in.Results)),
+		derivOK:    ar.bools(len(in.Results)),
 		derivs:     make([]map[lineage.Var]float64, len(in.Results)),
-		readOnce:   make([]bool, len(in.Results)),
-		stepNext:   make([]float64, len(in.Base)),
-		stepCost:   make([]float64, len(in.Base)),
-		stepOK:     make([]bool, len(in.Base)),
+		readOnce:   ar.bools(len(in.Results)),
+		stepNext:   ar.floats(len(in.Base)),
+		stepCost:   ar.floats(len(in.Base)),
+		stepOK:     ar.bools(len(in.Base)),
 	}
 	for i, b := range in.Base {
 		e.p[i] = b.P
@@ -324,8 +351,8 @@ func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
 				e.compiled[ri] = true
 				e.machines[ri] = lineage.NewMachine(prog)
 				e.machines[ri].SetPivotHook(hook)
-				e.slotProbs[ri] = make([]float64, prog.NumSlots())
-				e.derivRow[ri] = make([]float64, prog.NumSlots())
+				e.slotProbs[ri] = ar.floats(prog.NumSlots())
+				e.derivRow[ri] = ar.floats(prog.NumSlots())
 				for s, v := range prog.Vars() {
 					bi := e.varIdx[v]
 					e.slotProbs[ri][s] = e.p[bi]
@@ -344,8 +371,42 @@ func newEvaluatorCtx(in *Instance, treeWalk bool, bs *budgetState) *evaluator {
 			e.basesOf[ri] = append(e.basesOf[ri], bi)
 		}
 	}
+	if !treeWalk {
+		e.batch = lineage.NewBatch(len(in.Results))
+		for ri := range in.Results {
+			if !e.compiled[ri] {
+				continue
+			}
+			bs.poll()
+			// basesOf is slot-ordered for compiled results, so gathering
+			// e.p through it reproduces slotProbs[ri] exactly.
+			if err := e.batch.Add(e.machines[ri], e.basesOf[ri]); err != nil {
+				panic(err) // unreachable: basesOf is built slot-aligned above
+			}
+			e.batchIdx = append(e.batchIdx, ri)
+		}
+	}
+	if e.batch != nil && e.batch.Len() > 0 {
+		e.batchOut = ar.floats(e.batch.Len())
+		e.batchRows = make([][]float64, e.batch.Len())
+		e.maxShared = ar.floats(len(in.Base))
+		//lint:allow ctxpoll bounded O(|Base|) per-tuple maximum lookup with no
+		// lineage work; the surrounding constructor polls per result.
+		for i, b := range in.Base {
+			e.maxShared[i] = b.maxP()
+		}
+		// Initial probabilities of all compiled results in one batched
+		// sweep (shared-variable machines poll through their pivot hooks).
+		e.batch.EvalBatch(e.p, e.batchOut)
+		for k, ri := range e.batchIdx {
+			bs.poll()
+			e.applyProb(ri, e.batchOut[k])
+		}
+	}
 	for ri := range in.Results {
-		e.recompute(ri)
+		if !e.compiled[ri] {
+			e.recompute(ri)
+		}
 	}
 	return e
 }
@@ -374,6 +435,13 @@ func (e *evaluator) recompute(ri int) {
 		prob = lineage.Prob(e.in.Results[ri].Formula, e.assignment())
 		e.derivs[ri] = nil
 	}
+	e.applyProb(ri, prob)
+}
+
+// applyProb records a freshly computed probability for result ri and
+// maintains the satisfaction bookkeeping, shared by the incremental
+// recompute path and the batched sweeps.
+func (e *evaluator) applyProb(ri int, prob float64) {
 	e.resultProb[ri] = prob
 	sat := conf.GE(prob, e.in.Beta)
 	if sat != e.satisfied[ri] {
@@ -382,6 +450,36 @@ func (e *evaluator) recompute(ri int) {
 			e.nSat++
 		} else {
 			e.nSat--
+		}
+	}
+}
+
+// primeDerivs refreshes the derivative row of every compiled, still
+// unsatisfied result whose row is stale in one batched fused sweep, so
+// a greedy solve's initial gain sweep reads warm rows instead of
+// faulting them in machine by machine. The lazy per-result refresh in
+// deltaF still serves the incremental picks afterwards; either path
+// produces bit-identical rows (same machines, same gathered inputs).
+func (e *evaluator) primeDerivs() {
+	if e.batch == nil || e.batch.Len() == 0 {
+		return
+	}
+	stale := false
+	for k, ri := range e.batchIdx {
+		if !e.satisfied[ri] && !e.derivOK[ri] {
+			e.batchRows[k] = e.derivRow[ri]
+			stale = true
+		} else {
+			e.batchRows[k] = nil
+		}
+	}
+	if !stale {
+		return
+	}
+	e.batch.ProbDerivBatch(e.p, nil, e.batchRows)
+	for k, ri := range e.batchIdx {
+		if e.batchRows[k] != nil {
+			e.derivOK[ri] = true
 		}
 	}
 }
@@ -481,31 +579,37 @@ func (e *evaluator) stepPriceSlow(bi int) (next, incCost float64) {
 // evaluator it already built instead of constructing (and compiling)
 // a second one.
 func (e *evaluator) satAtMax() int {
+	sat := 0
+	if e.batch != nil && e.batch.Len() > 0 {
+		// All compiled results in one batched sweep over the precomputed
+		// per-tuple maxima (gathered through basesOf, which is in slot
+		// order, so the inputs match the old per-result gather exactly);
+		// shared-variable machines stay interruptible via their pivot
+		// hooks. batchOut is scratch — current evaluator state is
+		// untouched.
+		e.batch.EvalBatch(e.maxShared, e.batchOut)
+		//lint:allow ctxpoll bounded O(|Results|) threshold counting over the
+		// batch outputs; the lineage work polled inside EvalBatch.
+		for k := range e.batchIdx {
+			if conf.GE(e.batchOut[k], e.in.Beta) {
+				sat++
+			}
+		}
+	}
 	maxAssign := lineage.FuncAssignment(func(v lineage.Var) float64 {
 		return e.in.Base[e.varIdx[v]].maxP()
 	})
-	var scratch []float64
-	sat := 0
 	for ri := range e.in.Results {
+		if e.compiled[ri] {
+			continue // counted by the batched sweep above
+		}
 		// Feasibility probing evaluates every formula at the maxima; on
 		// large instances this rivals a solve phase, so stay interruptible.
 		e.bs.poll()
 		var prob float64
-		switch {
-		case e.compiled[ri]:
-			n := len(e.slotProbs[ri])
-			if cap(scratch) < n {
-				scratch = make([]float64, n)
-			}
-			s := scratch[:n]
-			// basesOf is in slot order for compiled results.
-			for k, bi := range e.basesOf[ri] {
-				s[k] = e.in.Base[bi].maxP()
-			}
-			prob = e.machines[ri].Prob(s)
-		case e.readOnce[ri]:
+		if e.readOnce[ri] {
 			prob = lineage.ProbIndependent(e.in.Results[ri].Formula, maxAssign)
-		default:
+		} else {
 			prob = lineage.Prob(e.in.Results[ri].Formula, maxAssign)
 		}
 		if conf.GE(prob, e.in.Beta) {

@@ -1,0 +1,68 @@
+package strategy
+
+// pairEntry is one candidate merge in the partition heap: the summed
+// result-edge weight between two group roots (a < b) as of push time.
+// Entries are never updated in place — a pair whose weight grows is
+// re-pushed, and the merge loop discards entries whose endpoints are no
+// longer roots or whose weight is no longer current.
+type pairEntry struct {
+	w, a, b int
+}
+
+// less orders the heap maximum-weight first, ties broken by the smaller
+// (a, b) root pair — exactly the selection rule the full-rescan merge
+// loop used, which keeps the produced partition bit-identical.
+func (e pairEntry) less(o pairEntry) bool {
+	if e.w != o.w {
+		return e.w > o.w
+	}
+	if e.a != o.a {
+		return e.a < o.a
+	}
+	return e.b < o.b
+}
+
+// pairHeap is a plain binary heap of pairEntry. It deliberately avoids
+// the container/heap interface: the partition merge loop is hot at large
+// N and the interface indirection shows up in profiles.
+type pairHeap struct {
+	es []pairEntry
+}
+
+func (h *pairHeap) len() int { return len(h.es) }
+
+func (h *pairHeap) push(e pairEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.es[i].less(h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *pairHeap) pop() pairEntry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h.es) && h.es[l].less(h.es[m]) {
+			m = l
+		}
+		if r < len(h.es) && h.es[r].less(h.es[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.es[i], h.es[m] = h.es[m], h.es[i]
+		i = m
+	}
+	return top
+}
