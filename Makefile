@@ -4,7 +4,7 @@
 # the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet lint build test race differential bench bench-parallel obs-smoke
+.PHONY: check vet lint build test race differential bench bench-parallel bench-planner obs-smoke
 
 check: vet lint build race differential obs-smoke
 
@@ -61,3 +61,8 @@ bench:
 # track the core count upward.
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkDnCParallel -benchtime 3x -cpu 1,2,4 .
+
+# Cost-based planner vs rule-based statement order, plus the plan-cache
+# hit-rate sweep; writes BENCH_planner.json to the working directory.
+bench-planner:
+	$(GO) run ./cmd/benchrunner -fig planner

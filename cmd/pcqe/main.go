@@ -61,6 +61,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the request; improvement planning degrades to a partial proposal when it expires (0 = no limit)")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel improvement planning (0 = GOMAXPROCS, 1 = serial); plans are identical for every value")
 	execScript := flag.String("exec", "", "SQL script file to execute before the query (CREATE TABLE / INSERT ... WITH CONFIDENCE / UPDATE / DELETE)")
+	explain := flag.Bool("explain", false, "print the chosen query plan with cost estimates to stderr before evaluating")
 	trace := flag.Bool("trace", false, "dump the request's phase-timing span tree to stderr")
 	metricsDump := flag.Bool("metrics", false, "dump the engine metrics snapshot to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -192,6 +193,23 @@ func run() error {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", *debugListen)
+	}
+
+	if *explain {
+		stmt, err := sql.Parse(query)
+		if err != nil {
+			return err
+		}
+		op, info, err := sql.PlanDetailed(cat, stmt)
+		if err != nil {
+			return err
+		}
+		kind := "rule-based"
+		if info.CostBased {
+			kind = "cost-based"
+		}
+		fmt.Fprintf(os.Stderr, "plan (%s, lineage %s):\n%s\n",
+			kind, info.LineageHint, relation.ExplainAnnotated(op, info.Notes))
 	}
 
 	req := core.Request{User: *user, Query: query, Purpose: *purpose, MinFraction: *minFrac, Timeout: *timeout, Workers: nworkers}

@@ -86,6 +86,28 @@ func (s *solver) workerQueuePolled(queue chan int) int {
 	return total
 }
 
+// joinOrderUnpolled models the planner's dynamic-programming join-order
+// search: the subset lattice has 1<<n entries, so the enumeration is
+// exponential and must checkpoint even though each step is cheap.
+func joinOrderUnpolled(rels []int) int {
+	best := 0
+	for mask := 1; mask < 1<<len(rels); mask++ { // want `exponential enumeration loop has no cooperative checkpoint`
+		best += work()
+	}
+	return best
+}
+
+// joinOrderPolled is the compliant planner shape: the search keeps a
+// node budget and polls it once per subset considered.
+func joinOrderPolled(rels []int, bs *budgetState) int {
+	best := 0
+	for mask := 1; mask < 1<<len(rels); mask++ {
+		bs.poll()
+		best += work()
+	}
+	return best
+}
+
 // suppressed documents an intentionally unbudgeted loop.
 func (s *solver) suppressed(n int) int {
 	total := 0

@@ -419,6 +419,8 @@ func Run(name string, opt Options) ([]*Table, error) {
 		return []*Table{t}, err
 	case "parallel":
 		return FigParallel(opt)
+	case "planner":
+		return FigPlanner(opt)
 	case "all":
 		var out []*Table
 		out = append(out, Table4())
@@ -453,14 +455,19 @@ func Run(name string, opt Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return append(out, par...), nil
+		out = append(out, par...)
+		pl, err := FigPlanner(opt)
+		if err != nil {
+			return nil, err
+		}
+		return append(out, pl...), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (try table4, 11a..11f, ablations, all)", name)
 }
 
 // Names lists all experiment names Run accepts, sorted.
 func Names() []string {
-	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "compiled", "pipeline", "parallel", "all"}
+	names := []string{"table4", "11a", "11b", "11c", "11d", "11e", "11f", "ablations", "compiled", "pipeline", "parallel", "planner", "all"}
 	sort.Strings(names)
 	return names
 }

@@ -175,7 +175,10 @@ func (e *Engine) Audit() *AuditLog { return e.audit }
 // attached, every evaluation, degradation, proposal, apply and audit
 // event updates the registry's counters and histograms (see DESIGN.md
 // §8 for the metric names).
-func (e *Engine) SetMetrics(m *obs.Metrics) { e.metrics = m }
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	e.metrics = m
+	e.plans.SetMetrics(m)
+}
 
 // Metrics returns the attached registry (nil when none).
 func (e *Engine) Metrics() *obs.Metrics { return e.metrics }

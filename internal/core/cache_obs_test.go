@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pcqe/internal/obs"
+)
+
+// TestEngineCacheObservability checks the optimizer caches surface
+// through the engine: plan-cache and confidence-cache deltas on the
+// request span tree, lineage-class row totals, and the mirrored
+// metrics counters.
+func TestEngineCacheObservability(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	m := obs.New()
+	e.SetMetrics(m)
+	req := Request{User: "sue", Query: ventureQuery, Purpose: "analysis"}
+
+	first, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eval1 := first.Timings.Find("eval")
+	if eval1.Attr("plan_cache_misses") != 1 || eval1.Attr("plan_cache_hits") != 0 {
+		t.Errorf("first eval: hits=%d misses=%d, want 0/1",
+			eval1.Attr("plan_cache_hits"), eval1.Attr("plan_cache_misses"))
+	}
+	eval2 := second.Timings.Find("eval")
+	if eval2.Attr("plan_cache_hits") != 1 || eval2.Attr("plan_cache_misses") != 0 {
+		t.Errorf("second eval: hits=%d misses=%d, want 1/0",
+			eval2.Attr("plan_cache_hits"), eval2.Attr("plan_cache_misses"))
+	}
+	// The running example joins and filters but never references
+	// _confidence, so the cost-based planner owns it; DISTINCT means
+	// the lineage hint is may-share.
+	if eval2.Attr("cost_based") != 1 {
+		t.Errorf("running example should be cost-based planned")
+	}
+	if eval2.Attr("lineage_hint_read_once") != 0 {
+		t.Errorf("DISTINCT query must carry the may-share hint")
+	}
+
+	lin1 := first.Timings.Find("lineage")
+	if lin1 == nil {
+		t.Fatalf("no lineage span:\n%s", first.Timings.Tree())
+	}
+	rows := lin1.Attr("rows")
+	if rows == 0 {
+		t.Fatal("lineage span must count rows")
+	}
+	// Every lineage class total must reconcile with the row count.
+	classed := lin1.Attr("readonce_rows") + lin1.Attr("bounded_rows") + lin1.Attr("hard_rows")
+	if classed != rows {
+		t.Errorf("class totals %d != rows %d", classed, rows)
+	}
+	// DISTINCT merges ZStart's two join rows into one result whose
+	// lineage Or(And(02,13), And(03,13)) shares variable 13: the row
+	// routes through the bounded-pivot Shannon path.
+	if lin1.Attr("bounded_rows") != rows {
+		t.Errorf("bounded_rows = %d, want %d", lin1.Attr("bounded_rows"), rows)
+	}
+	if lin1.Attr("bounded_pivots") == 0 {
+		t.Error("shared formula must record its Shannon pivots")
+	}
+	if lin1.Attr("conf_cache_misses") == 0 {
+		t.Error("first request must miss the confidence cache")
+	}
+	lin2 := second.Timings.Find("lineage")
+	if lin2.Attr("conf_cache_hits") != rows || lin2.Attr("conf_cache_misses") != 0 {
+		t.Errorf("second request: conf hits=%d misses=%d, want %d/0",
+			lin2.Attr("conf_cache_hits"), lin2.Attr("conf_cache_misses"), rows)
+	}
+
+	snap := m.Snapshot().String()
+	for _, metric := range []string{"sql.plancache.hits 1", "sql.plancache.misses 1", "engine.confcache.hits"} {
+		if !strings.Contains(snap, metric) {
+			t.Errorf("metrics snapshot missing %q:\n%s", metric, snap)
+		}
+	}
+
+	if h, ms := e.PlanCacheStats(); h != 1 || ms != 1 {
+		t.Errorf("PlanCacheStats = %d/%d, want 1/1", h, ms)
+	}
+	cc := e.ConfCacheStats()
+	if cc.Hits != rows || cc.Misses != rows {
+		t.Errorf("ConfCacheStats = %+v, want %d hits and misses", cc, rows)
+	}
+}
+
+// TestEngineConfidenceCacheFollowsImprovement: applying an improvement
+// plan raises base confidences; the next evaluation must see the new
+// result confidence, not a cached pre-improvement value.
+func TestEngineConfidenceCacheFollowsImprovement(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	req := Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0}
+	resp, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Proposal == nil || len(resp.Released) != 0 {
+		t.Fatalf("expected a blocked result with a proposal, got %+v", resp)
+	}
+	withheld := resp.Withheld[0].Confidence
+	if err := e.Apply(resp.Proposal); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Released) != 1 {
+		t.Fatalf("post-apply: released=%d, want 1", len(after.Released))
+	}
+	if after.Released[0].Confidence <= withheld {
+		t.Errorf("confidence %v not raised above pre-apply %v (stale cache?)",
+			after.Released[0].Confidence, withheld)
+	}
+}

@@ -41,6 +41,12 @@ type Engine struct {
 	// unconditionally.
 	metrics *obs.Metrics
 	tracer  obs.Tracer
+	// plans caches compiled operator trees keyed on normalized query
+	// fingerprints; confs caches result-formula confidences keyed on
+	// (lineage fingerprint, confidence epoch). Both invalidate through
+	// the catalog's version/epoch counters.
+	plans *sql.PlanCache
+	confs *relation.ConfidenceCache
 }
 
 // NewEngine builds an engine. A nil solver defaults to the
@@ -49,8 +55,18 @@ func NewEngine(catalog *relation.Catalog, policies *policy.Store, solver strateg
 	if solver == nil {
 		solver = strategy.NewDivideAndConquer()
 	}
-	return &Engine{catalog: catalog, policies: policies, solver: solver}
+	return &Engine{
+		catalog: catalog, policies: policies, solver: solver,
+		plans: sql.NewPlanCache(0),
+		confs: relation.NewConfidenceCache(catalog, 0),
+	}
 }
+
+// PlanCacheStats exposes the engine's plan-cache hit/miss counters.
+func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.Stats() }
+
+// ConfCacheStats exposes the engine's confidence-cache counters.
+func (e *Engine) ConfCacheStats() relation.ConfCacheStats { return e.confs.Stats() }
 
 // Catalog exposes the engine's database catalog.
 func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
@@ -172,8 +188,24 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	root := e.startSpan("request")
 
 	evalSpan := root.StartChild("eval")
-	rows, schema, err := sql.Query(e.catalog, req.Query)
+	pcHits0, pcMisses0 := e.plans.Stats()
+	rows, schema, info, err := e.plans.QueryDetailed(e.catalog, req.Query)
+	pcHits1, pcMisses1 := e.plans.Stats()
 	evalSpan.SetAttr("rows", int64(len(rows)))
+	evalSpan.SetAttr("plan_cache_hits", pcHits1-pcHits0)
+	evalSpan.SetAttr("plan_cache_misses", pcMisses1-pcMisses0)
+	if info != nil {
+		costBased := int64(0)
+		if info.CostBased {
+			costBased = 1
+		}
+		evalSpan.SetAttr("cost_based", costBased)
+		readOnceHint := int64(0)
+		if info.LineageHint == "read-once" {
+			readOnceHint = 1
+		}
+		evalSpan.SetAttr("lineage_hint_read_once", readOnceHint)
+	}
 	evalSpan.End()
 	if err != nil {
 		root.End()
@@ -184,13 +216,28 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	// Confidence computation is its own measured phase: lineage
 	// probability is #P-hard in general and routinely dominates query
 	// evaluation, so conflating the two would hide the dominant cost.
+	// Each result formula routes by its complexity class (read-once /
+	// bounded-pivot / hard) through the confidence cache; the span
+	// carries the per-class row and Shannon-pivot totals.
 	linSpan := root.StartChild("lineage")
+	cc0 := e.confs.Stats()
 	all := make([]Row, len(rows))
 	for i, t := range rows {
-		all[i] = Row{Tuple: t, Confidence: e.catalog.Confidence(t)}
+		all[i] = Row{Tuple: t, Confidence: e.confs.Confidence(t)}
 	}
+	cc := e.confs.Stats().Sub(cc0)
 	linSpan.SetAttr("rows", int64(len(all)))
+	linSpan.SetAttr("readonce_rows", cc.Rows[relation.LineageReadOnce])
+	linSpan.SetAttr("bounded_rows", cc.Rows[relation.LineageBounded])
+	linSpan.SetAttr("hard_rows", cc.Rows[relation.LineageHard])
+	linSpan.SetAttr("bounded_pivots", cc.Pivots[relation.LineageBounded])
+	linSpan.SetAttr("hard_pivots", cc.Pivots[relation.LineageHard])
+	linSpan.SetAttr("conf_cache_hits", cc.Hits)
+	linSpan.SetAttr("conf_cache_misses", cc.Misses)
 	linSpan.End()
+	e.metrics.Counter("engine.confcache.hits").Add(cc.Hits)
+	e.metrics.Counter("engine.confcache.misses").Add(cc.Misses)
+	e.metrics.Counter("engine.lineage.pivots").Add(cc.Pivots[relation.LineageBounded] + cc.Pivots[relation.LineageHard])
 
 	polSpan := root.StartChild("policy-filter")
 	beta, applied := e.policies.Threshold(req.User, req.Purpose)

@@ -16,6 +16,16 @@ type Catalog struct {
 	tables map[string]*Table
 	byVar  map[lineage.Var]*BaseTuple
 	next   lineage.Var
+
+	// version counts DDL and row mutations (CREATE/DROP TABLE, CREATE
+	// INDEX, INSERT, DELETE, UPDATE). Cached query plans are keyed on it:
+	// any change that could alter a plan's shape or a materialized
+	// subquery result bumps it.
+	version int64
+	// confEpoch counts confidence mutations only (SetConfidence, UPDATE
+	// of _confidence, DELETE's confidence zeroing). Cached result
+	// confidences are keyed on it.
+	confEpoch int64
 }
 
 // NewCatalog returns an empty catalog.
@@ -41,8 +51,26 @@ func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
 	}
 	t := &Table{Name: name, schema: &Schema{Columns: qualified}, catalog: c}
 	c.tables[key] = t
+	c.version++
 	return t, nil
 }
+
+// Version returns the catalog's data/DDL version counter. It increases
+// monotonically on every schema or row mutation; equal versions
+// guarantee that a previously planned query is still valid (same
+// tables, same indexes, same materialized-subquery inputs).
+func (c *Catalog) Version() int64 { return c.version }
+
+// ConfEpoch returns the confidence epoch: a counter bumped on every
+// base-tuple confidence change. Cached derived-tuple confidences are
+// valid only while the epoch they were computed under is current.
+func (c *Catalog) ConfEpoch() int64 { return c.confEpoch }
+
+// bumpVersion records a data or DDL mutation.
+func (c *Catalog) bumpVersion() { c.version++ }
+
+// bumpConfEpoch records a confidence mutation.
+func (c *Catalog) bumpConfEpoch() { c.confEpoch++ }
 
 // Table looks a table up by name (case-insensitive).
 func (c *Catalog) Table(name string) (*Table, error) {
@@ -71,6 +99,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("relation: unknown table %q", name)
 	}
 	delete(c.tables, key)
+	c.version++
 	return nil
 }
 
@@ -119,6 +148,7 @@ func (c *Catalog) SetConfidence(v lineage.Var, p float64) error {
 		return fmt.Errorf("relation: confidence %g exceeds tuple maximum %g", p, row.MaxConf)
 	}
 	row.Confidence = p
+	c.confEpoch++
 	return nil
 }
 

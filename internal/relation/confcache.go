@@ -1,0 +1,192 @@
+package relation
+
+import (
+	"sync"
+
+	"pcqe/internal/lineage"
+)
+
+// LineageClass partitions result formulas by evaluation complexity, per
+// the read-once dichotomy: read-once formulas admit the linear-time
+// independent-product evaluation, everything else needs Shannon
+// expansion over its shared variables, whose cost is exponential in the
+// pivot count.
+type LineageClass uint8
+
+// Lineage complexity classes.
+const (
+	// LineageReadOnce: every variable occurs once; probability is exact
+	// in linear time (probReadOnce).
+	LineageReadOnce LineageClass = iota
+	// LineageBounded: at most BoundedPivotLimit shared variables; exact
+	// Shannon expansion enumerates a small pivot cube.
+	LineageBounded
+	// LineageHard: more shared variables than BoundedPivotLimit; exact
+	// evaluation is exponential in practice, not just in principle.
+	LineageHard
+
+	numLineageClasses = 3
+)
+
+// String implements fmt.Stringer.
+func (c LineageClass) String() string {
+	switch c {
+	case LineageReadOnce:
+		return "read-once"
+	case LineageBounded:
+		return "bounded-pivot"
+	case LineageHard:
+		return "hard"
+	}
+	return "unknown"
+}
+
+// BoundedPivotLimit separates bounded-pivot from hard formulas: up to
+// this many Shannon pivots (2^8 = 256 leaf evaluations) the exact path
+// is still cheap enough to treat as routine.
+const BoundedPivotLimit = 8
+
+// ClassifyLineage reports a formula's complexity class and its shared
+// (Shannon pivot) variable count.
+func ClassifyLineage(e *lineage.Expr) (LineageClass, int) {
+	if e.ReadOnce() {
+		return LineageReadOnce, 0
+	}
+	shared := len(lineage.Compile(e).SharedSlots())
+	if shared <= BoundedPivotLimit {
+		return LineageBounded, shared
+	}
+	return LineageHard, shared
+}
+
+// ConfCacheStats is a snapshot of a ConfidenceCache's counters. The
+// per-class arrays are indexed by LineageClass.
+type ConfCacheStats struct {
+	Hits, Misses int64
+	// Rows counts confidence requests per class (hits and misses).
+	Rows [numLineageClasses]int64
+	// Evals counts cache-miss evaluations per class.
+	Evals [numLineageClasses]int64
+	// Pivots totals the compiled Machine's Shannon pivot leaf
+	// evaluations per class (always 0 for read-once).
+	Pivots [numLineageClasses]int64
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s ConfCacheStats) Sub(prev ConfCacheStats) ConfCacheStats {
+	d := ConfCacheStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses}
+	for i := 0; i < numLineageClasses; i++ {
+		d.Rows[i] = s.Rows[i] - prev.Rows[i]
+		d.Evals[i] = s.Evals[i] - prev.Evals[i]
+		d.Pivots[i] = s.Pivots[i] - prev.Pivots[i]
+	}
+	return d
+}
+
+// ConfidenceCache memoizes derived-tuple confidences keyed on (formula
+// fingerprint, confidence epoch): repeated policy filtering of the same
+// results skips the probability computation entirely until some base
+// confidence changes. Evaluation routes by lineage class — read-once
+// formulas go straight to the linear-time path, shared formulas through
+// the compiled Shannon kernel, whose pivot counters the cache
+// aggregates per class. Safe for concurrent use.
+type ConfidenceCache struct {
+	cat *Catalog
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]confEntry
+	stats   ConfCacheStats
+}
+
+type confEntry struct {
+	epoch int64
+	p     float64
+	class LineageClass
+}
+
+// DefaultConfidenceCacheSize bounds the cache when NewConfidenceCache
+// is given a non-positive capacity.
+const DefaultConfidenceCacheSize = 1 << 16
+
+// NewConfidenceCache builds a cache over the catalog's current
+// confidences.
+func NewConfidenceCache(cat *Catalog, capacity int) *ConfidenceCache {
+	if capacity <= 0 {
+		capacity = DefaultConfidenceCacheSize
+	}
+	return &ConfidenceCache{cat: cat, cap: capacity, entries: make(map[string]confEntry)}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (cc *ConfidenceCache) Stats() ConfCacheStats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.stats
+}
+
+// Len returns the number of cached formulas (including stale epochs not
+// yet overwritten).
+func (cc *ConfidenceCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.entries)
+}
+
+// Confidence returns the tuple's exact confidence, serving it from the
+// cache when the formula was already evaluated under the current
+// confidence epoch.
+func (cc *ConfidenceCache) Confidence(t *Tuple) float64 {
+	key := t.Lineage.String()
+	epoch := cc.cat.ConfEpoch()
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok && e.epoch == epoch {
+		cc.stats.Hits++
+		cc.stats.Rows[e.class]++
+		cc.mu.Unlock()
+		return e.p
+	}
+	cc.mu.Unlock()
+
+	class, p, pivots := evalClassified(t.Lineage, cc.cat)
+
+	cc.mu.Lock()
+	cc.stats.Misses++
+	cc.stats.Rows[class]++
+	cc.stats.Evals[class]++
+	cc.stats.Pivots[class] += pivots
+	if _, exists := cc.entries[key]; !exists && len(cc.entries) >= cc.cap {
+		// Random eviction: drop one arbitrary entry (map iteration order).
+		for k := range cc.entries {
+			delete(cc.entries, k)
+			break
+		}
+	}
+	cc.entries[key] = confEntry{epoch: epoch, p: p, class: class}
+	cc.mu.Unlock()
+	return p
+}
+
+// evalClassified computes a formula's probability on the path its class
+// dictates. Read-once formulas use the linear independent-product walk
+// (exact and bit-identical to Shannon expansion, which never pivots on
+// them); shared formulas use the compiled kernel so the Machine's pivot
+// counters surface the true Shannon cost.
+func evalClassified(e *lineage.Expr, assign lineage.Assignment) (LineageClass, float64, int64) {
+	if e.ReadOnce() {
+		return LineageReadOnce, lineage.ProbIndependent(e, assign), 0
+	}
+	prog := lineage.Compile(e)
+	class := LineageBounded
+	if len(prog.SharedSlots()) > BoundedPivotLimit {
+		class = LineageHard
+	}
+	m := lineage.NewMachine(prog)
+	probs := make([]float64, prog.NumSlots())
+	for i, v := range prog.Vars() {
+		probs[i] = assign.ProbOf(v)
+	}
+	p := m.Prob(probs)
+	_, pivots := m.Counters()
+	return class, p, pivots
+}

@@ -14,14 +14,24 @@ import (
 //	   └─ Select (Funding < 1000000)
 //	      └─ Scan Proposal
 func Explain(op Operator) string {
+	return ExplainAnnotated(op, nil)
+}
+
+// ExplainAnnotated is Explain with per-operator annotations appended
+// after the operator description (" -- note"). The cost-based planner
+// supplies cardinality and cost estimates this way.
+func ExplainAnnotated(op Operator, notes map[Operator]string) string {
 	var b strings.Builder
-	explain(&b, op, "", "")
+	explain(&b, op, "", "", notes)
 	return strings.TrimRight(b.String(), "\n")
 }
 
-func explain(b *strings.Builder, op Operator, prefix, childPrefix string) {
+func explain(b *strings.Builder, op Operator, prefix, childPrefix string, notes map[Operator]string) {
 	b.WriteString(prefix)
 	b.WriteString(describe(op))
+	if note, ok := notes[op]; ok && note != "" {
+		b.WriteString(" -- " + note)
+	}
 	b.WriteString("\n")
 	children := childrenOf(op)
 	for i, c := range children {
@@ -30,7 +40,7 @@ func explain(b *strings.Builder, op Operator, prefix, childPrefix string) {
 		if last {
 			branch, cont = "└─ ", "   "
 		}
-		explain(b, c, childPrefix+branch, childPrefix+cont)
+		explain(b, c, childPrefix+branch, childPrefix+cont, notes)
 	}
 }
 
@@ -75,6 +85,13 @@ func describe(op Operator) string {
 		return "Sort [" + strings.Join(keys, ", ") + "]"
 	case *Rename:
 		return "Rename AS " + o.Alias
+	case *ColumnMap:
+		names := make([]string, len(o.Indices))
+		in := o.Input.Schema()
+		for i, idx := range o.Indices {
+			names[i] = in.Columns[idx].QualifiedName()
+		}
+		return "ColumnMap [" + strings.Join(names, ", ") + "]"
 	case *HashJoin:
 		pairs := make([]string, len(o.LeftKeys))
 		ls, rs := o.Left.Schema(), o.Right.Schema()
@@ -124,6 +141,8 @@ func childrenOf(op Operator) []Operator {
 	case *Sort:
 		return []Operator{o.Input}
 	case *Rename:
+		return []Operator{o.Input}
+	case *ColumnMap:
 		return []Operator{o.Input}
 	case *HashJoin:
 		return []Operator{o.Left, o.Right}

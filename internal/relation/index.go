@@ -54,6 +54,8 @@ func (t *Table) CreateIndex(column string) (*Index, error) {
 		t.indexes = map[int]*Index{}
 	}
 	t.indexes[idx] = ix
+	// A new index can change the chosen plan for cached queries.
+	t.catalog.bumpVersion()
 	return ix, nil
 }
 

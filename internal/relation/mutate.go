@@ -39,6 +39,12 @@ func (t *Table) Delete(pred Expr) (int, error) {
 	for _, ix := range t.indexes {
 		ix.rebuild()
 	}
+	if removed > 0 {
+		t.mutated()
+		// Deletion zeroes the removed rows' confidences, so derived
+		// confidences computed from lineages that mention them change.
+		t.catalog.bumpConfEpoch()
+	}
 	return removed, nil
 }
 
@@ -124,6 +130,13 @@ func (t *Table) Update(pred Expr, specs []UpdateSpec) (int, error) {
 	if changed > 0 {
 		for _, ix := range t.indexes {
 			ix.rebuild()
+		}
+		t.mutated()
+		for _, spec := range specs {
+			if spec.Column < 0 {
+				t.catalog.bumpConfEpoch()
+				break
+			}
 		}
 	}
 	return changed, nil

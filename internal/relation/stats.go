@@ -1,0 +1,94 @@
+package relation
+
+// ColumnStats summarizes one column for cardinality estimation.
+type ColumnStats struct {
+	// Distinct is the exact distinct-value count at collection time
+	// (an estimate only in the sense that the table may have mutated
+	// since; mutation invalidates the whole TableStats).
+	Distinct int
+	// Nulls counts NULL values.
+	Nulls int
+	// Min and Max are the extreme non-NULL values under Compare; both
+	// are NULL when the column holds no comparable values.
+	Min, Max Value
+}
+
+// TableStats holds per-table statistics for the cost-based planner: row
+// count plus per-column distinct/null counts and min/max bounds. Stats
+// are collected lazily on first use and invalidated by any row mutation
+// (Insert, Delete, Update) through the table's version counter.
+type TableStats struct {
+	Rows int
+	Cols []ColumnStats
+
+	version int64
+}
+
+// Stats returns the table's statistics, recomputing them when a row
+// mutation has occurred since the last collection. Collection is a
+// single O(rows × columns) pass; between mutations repeated calls are
+// free.
+func (t *Table) Stats() *TableStats {
+	if t.stats != nil && t.stats.version == t.version {
+		return t.stats
+	}
+	t.stats = collectStats(t)
+	return t.stats
+}
+
+func collectStats(t *Table) *TableStats {
+	st := &TableStats{
+		Rows:    len(t.rows),
+		Cols:    make([]ColumnStats, t.schema.Len()),
+		version: t.version,
+	}
+	for ci := range st.Cols {
+		cs := &st.Cols[ci]
+		cs.Min, cs.Max = Null(), Null()
+		seen := make(map[string]struct{})
+		for _, row := range t.rows {
+			v := row.Values[ci]
+			if v.IsNull() {
+				cs.Nulls++
+				continue
+			}
+			seen[v.Key()] = struct{}{}
+			if cs.Min.IsNull() {
+				cs.Min, cs.Max = v, v
+				continue
+			}
+			if c, err := Compare(v, cs.Min); err == nil && c < 0 {
+				cs.Min = v
+			}
+			if c, err := Compare(v, cs.Max); err == nil && c > 0 {
+				cs.Max = v
+			}
+		}
+		cs.Distinct = len(seen)
+	}
+	return st
+}
+
+// DistinctOf returns the distinct-value count of a column with a floor
+// of 1, the form cardinality estimation divides by.
+func (st *TableStats) DistinctOf(col int) float64 {
+	if col < 0 || col >= len(st.Cols) || st.Cols[col].Distinct < 1 {
+		return 1
+	}
+	return float64(st.Cols[col].Distinct)
+}
+
+// HashJoinableTypes reports whether equality on two column types is
+// safe to evaluate through hash-key matching (Value.Key). Identical
+// types always are; the int/float pair is too, because Key folds
+// integral floats onto integer keys exactly where numeric comparison
+// would declare them equal. Any other mixed pair must go through a
+// comparison join: Compare errors on incompatible types, and a hash
+// join would silently produce an empty result instead of that error.
+func HashJoinableTypes(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	numeric := func(t Type) bool { return t == TypeInt || t == TypeFloat }
+	return numeric(a) && numeric(b)
+}

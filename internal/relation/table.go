@@ -32,6 +32,11 @@ type Table struct {
 
 	catalog *Catalog
 	indexes map[int]*Index // column position -> hash index
+
+	// version counts this table's row mutations; cached statistics are
+	// valid only while their version matches.
+	version int64
+	stats   *TableStats
 }
 
 // Schema returns the table's schema.
@@ -81,7 +86,15 @@ func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*B
 	for _, ix := range t.indexes {
 		ix.add(row)
 	}
+	t.mutated()
 	return row, nil
+}
+
+// mutated records a row mutation: it invalidates cached statistics and
+// bumps the catalog's plan-invalidation version.
+func (t *Table) mutated() {
+	t.version++
+	t.catalog.bumpVersion()
 }
 
 // MustInsert is Insert that panics on error; it keeps test fixtures and

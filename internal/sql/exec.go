@@ -62,12 +62,16 @@ func ExecStatement(cat *relation.Catalog, stmt Statement) (*Result, error) {
 		}
 		return &Result{Rows: rows, Schema: op.Schema(), Message: fmt.Sprintf("%d rows", len(rows))}, nil
 	case *ExplainStmt:
-		op, err := Plan(cat, s.Query)
+		op, info, err := PlanDetailed(cat, s.Query)
 		if err != nil {
 			return nil, err
 		}
-		plan := relation.Explain(op)
-		return &Result{Plan: plan, Message: "plan"}, nil
+		plan := relation.ExplainAnnotated(op, info.Notes)
+		msg := "plan"
+		if info.CostBased {
+			msg = "plan (cost-based, lineage " + info.LineageHint + ")"
+		}
+		return &Result{Plan: plan, Message: msg}, nil
 	case *CreateTableStmt:
 		cols := make([]relation.Column, len(s.Columns))
 		for i, c := range s.Columns {

@@ -1,0 +1,819 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"pcqe/internal/relation"
+)
+
+// This file is the cost-based FROM+WHERE planner: statistics-driven
+// join reordering with predicate and projection pushdown. It covers the
+// fragment "inner equi/theta joins over base tables"; anything outside
+// (derived tables, _confidence, unresolvable or ambiguous references)
+// falls back to the rule-based statement-order plan so semantics and
+// error messages stay exactly as before.
+
+// maxDPRels bounds the dynamic-programming join-order search; beyond
+// it the planner switches to the greedy heuristic directly (the DP
+// table has 2^n entries).
+const maxDPRels = 10
+
+// dpNodeBudget caps the number of search-loop iterations before the
+// enumeration degrades to the greedy order.
+const dpNodeBudget = 1 << 16
+
+// budgetState is the planner's cooperative search budget: the
+// join-order enumeration is exponential in the number of relations, so
+// every pass through the subset loop checks in and the search degrades
+// to the greedy heuristic when the budget is exhausted.
+type budgetState struct {
+	nodes, maxNodes int
+	exhausted       bool
+}
+
+// poll consumes one unit of search budget and reports whether the
+// search may continue.
+func (bs *budgetState) poll() bool {
+	bs.nodes++
+	if bs.nodes > bs.maxNodes {
+		bs.exhausted = true
+	}
+	return !bs.exhausted
+}
+
+// planRel is one base relation of the join, carrying its access path
+// (scan or index scan, with pushed-down filters and pruned columns) and
+// cardinality estimates.
+type planRel struct {
+	op     relation.Operator
+	tab    *relation.Table
+	schema *relation.Schema // schema of op (post-rename, post-prune)
+	stats  *relation.TableStats
+	rows   float64 // estimated output rows after pushed filters
+	cost   float64 // estimated rows read (base rows, or fewer via index)
+	keep   []int   // schema index -> base column index (identity sans pruning)
+}
+
+func (r *planRel) baseCol(schemaIdx int) int {
+	if schemaIdx < 0 || schemaIdx >= len(r.keep) {
+		return -1
+	}
+	return r.keep[schemaIdx]
+}
+
+// distinctOf estimates the distinct count of a column (by schema
+// index), capped by the relation's current row estimate.
+func (r *planRel) distinctOf(schemaIdx int) float64 {
+	d := r.stats.DistinctOf(r.baseCol(schemaIdx))
+	if d > r.rows && r.rows >= 1 {
+		d = r.rows
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// colOrigin identifies an output column by (relation, schema index
+// within that relation's pruned schema).
+type colOrigin struct {
+	rel, idx int
+}
+
+// conjunct is one top-level AND-term of the combined WHERE+ON
+// condition, with the set of relations it references.
+type conjunct struct {
+	expr ExprNode
+	mask uint
+	// eqL/eqR are set when the conjunct is a pure "ident = ident"
+	// across two relations whose column types are hash-joinable:
+	// (relation, schema index) of each side.
+	eq       bool
+	eqL, eqR colOrigin
+}
+
+// joinNode is a DP entry: the best plan found for a subset of the
+// relations.
+type joinNode struct {
+	op      relation.Operator
+	mask    uint
+	rows    float64
+	cost    float64
+	schema  *relation.Schema
+	origins []colOrigin
+}
+
+// planCostBased attempts a cost-based plan for the statement's
+// FROM+WHERE block. It returns (nil, nil) when the statement is outside
+// the supported fragment — the caller then uses the rule-based path.
+func planCostBased(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo) (relation.Operator, error) {
+	if len(stmt.Joins) == 0 {
+		return nil, nil // nothing to reorder
+	}
+
+	// Base relations. Derived tables have no statistics: bail.
+	refs := []TableRef{stmt.From}
+	for _, j := range stmt.Joins {
+		refs = append(refs, j.Table)
+	}
+	rels := make([]*planRel, len(refs))
+	for i, tr := range refs {
+		if tr.Sub != nil {
+			return nil, nil
+		}
+		tab, err := cat.Table(tr.Name)
+		if err != nil {
+			return nil, nil // rule-based path reports the error with position
+		}
+		var op relation.Operator = tab.Scan()
+		if tr.Alias != "" {
+			op = &relation.Rename{Input: op, Alias: tr.Alias}
+		}
+		st := tab.Stats()
+		schema := op.Schema()
+		keep := make([]int, schema.Len())
+		for c := range keep {
+			keep[c] = c
+		}
+		rels[i] = &planRel{
+			op: op, tab: tab, schema: schema, stats: st,
+			rows: float64(st.Rows), cost: float64(st.Rows), keep: keep,
+		}
+	}
+
+	// Combined condition: WHERE plus every ON clause, flattened into
+	// conjuncts. IN-subqueries are materialized here, exactly as the
+	// rule-based path would.
+	var conjAST []ExprNode
+	where, err := resolveSubqueries(cat, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	if where != nil {
+		conjAST = flattenAnd(where)
+	}
+	for _, j := range stmt.Joins {
+		on, err := resolveSubqueries(cat, j.On)
+		if err != nil {
+			return nil, err
+		}
+		if on != nil {
+			conjAST = append(conjAST, flattenAnd(on)...)
+		}
+	}
+
+	// Every identifier in the statement must resolve in exactly one
+	// relation; otherwise (unknown or ambiguous) the rule-based path
+	// owns the error message.
+	owner := func(id *Ident) (int, bool) {
+		found, n := -1, 0
+		for ri, rel := range rels {
+			if _, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+				found = ri
+				n++
+			}
+		}
+		return found, n == 1
+	}
+	resolvable := true
+	maskOf := func(e ExprNode) uint {
+		var m uint
+		walkExpr(e, func(n ExprNode) {
+			if id, ok := n.(*Ident); ok {
+				ri, ok := owner(id)
+				if !ok {
+					resolvable = false
+					return
+				}
+				m |= 1 << uint(ri)
+			}
+		})
+		return m
+	}
+
+	conjs := make([]conjunct, len(conjAST))
+	for i, e := range conjAST {
+		conjs[i] = conjunct{expr: e, mask: maskOf(e)}
+	}
+
+	// Referenced columns across the whole statement, for pruning and to
+	// validate resolvability up front.
+	hasStar := false
+	referenced := make([]map[int]bool, len(rels))
+	for i := range referenced {
+		referenced[i] = map[int]bool{}
+	}
+	noteRef := func(e ExprNode) {
+		walkExpr(e, func(n ExprNode) {
+			id, ok := n.(*Ident)
+			if !ok {
+				return
+			}
+			ri, ok := owner(id)
+			if !ok {
+				resolvable = false
+				return
+			}
+			idx, err := rels[ri].schema.Resolve(id.Qualifier, id.Name)
+			if err != nil {
+				resolvable = false
+				return
+			}
+			referenced[ri][idx] = true
+		})
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			hasStar = true
+			continue
+		}
+		noteRef(it.Expr)
+	}
+	for _, e := range conjAST {
+		noteRef(e)
+	}
+	for _, g := range stmt.GroupBy {
+		noteRef(g)
+	}
+	noteRef(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		noteRef(o.Expr)
+	}
+	if !resolvable {
+		return nil, nil
+	}
+
+	// Predicate pushdown: single-relation conjuncts filter at the leaf,
+	// through the index rewrite when one applies.
+	for ri, rel := range rels {
+		var push []ExprNode
+		for _, c := range conjs {
+			if c.mask == 1<<uint(ri) {
+				push = append(push, c.expr)
+			}
+		}
+		if len(push) == 0 {
+			continue
+		}
+		pred, err := compileExpr(joinAndAST(push), rel.schema)
+		if err != nil {
+			return nil, nil
+		}
+		sel := 1.0
+		for _, p := range push {
+			sel *= filterSelectivity(p, rel)
+		}
+		rel.op = relation.OptimizeIndexedSelect(&relation.Select{Input: rel.op, Pred: pred})
+		rel.rows *= sel
+		if usesIndexScan(rel.op) {
+			rel.cost = rel.rows
+		}
+	}
+	for _, rel := range rels {
+		info.Notes[rel.op] = fmt.Sprintf("rows≈%.0f", rel.rows)
+	}
+
+	// Projection pushdown: keep only referenced columns (never under
+	// SELECT *). Join keys and filters are referenced by construction.
+	if !hasStar {
+		for ri, rel := range rels {
+			if len(referenced[ri]) == rel.schema.Len() {
+				continue
+			}
+			keep := make([]int, 0, len(referenced[ri]))
+			for idx := range referenced[ri] {
+				keep = append(keep, idx)
+			}
+			sort.Ints(keep)
+			rel.op = &relation.ColumnMap{Input: rel.op, Indices: keep}
+			rel.schema = rel.op.Schema()
+			rel.keep = keep
+		}
+	}
+
+	// Classify equi-join conjuncts against the (possibly pruned)
+	// relation schemas.
+	for i := range conjs {
+		classifyEquiConjunct(&conjs[i], rels)
+	}
+
+	// Join-order search: dynamic programming over relation subsets when
+	// small enough, greedy otherwise or when the budget runs out. The
+	// subset loop is a 1<<n enumeration, hence the budget checkpoints.
+	n := len(rels)
+	bs := &budgetState{maxNodes: dpNodeBudget}
+	var root *joinNode
+	if n <= maxDPRels {
+		best := make([]*joinNode, 1<<uint(n))
+		for ri := range rels {
+			best[1<<uint(ri)] = leafNode(ri, rels)
+		}
+		complete := true
+		for mask := uint(1); mask < uint(1)<<uint(n); mask++ {
+			if !bs.poll() {
+				complete = false
+				break
+			}
+			if best[mask] != nil && mask&(mask-1) == 0 {
+				continue // leaf
+			}
+			for bit := uint(0); bit < uint(n); bit++ {
+				b := uint(1) << bit
+				if mask&b == 0 || mask == b {
+					continue
+				}
+				left := best[mask&^b]
+				if left == nil {
+					continue
+				}
+				cand := joinStep(left, int(bit), rels, conjs, info.Notes)
+				if best[mask] == nil || cand.cost < best[mask].cost {
+					best[mask] = cand
+				}
+			}
+		}
+		if complete {
+			root = best[(uint(1)<<uint(n))-1]
+		}
+	}
+	if root == nil {
+		root = greedyOrder(bs, rels, conjs, info.Notes)
+	}
+
+	// Residual conjuncts that reference no relation (constant folds):
+	// apply on top.
+	op := root.op
+	var consts []ExprNode
+	for _, c := range conjs {
+		if c.mask == 0 {
+			consts = append(consts, c.expr)
+		}
+	}
+	if len(consts) > 0 {
+		pred, err := compileExpr(joinAndAST(consts), root.schema)
+		if err != nil {
+			return nil, nil
+		}
+		op = &relation.Select{Input: op, Pred: pred}
+	}
+
+	// Restore statement column order: downstream compilation (and
+	// SELECT *) expects the relations' columns concatenated in FROM
+	// order, which the join search may have permuted.
+	var want []colOrigin
+	for ri, rel := range rels {
+		for idx := range rel.schema.Columns {
+			want = append(want, colOrigin{ri, idx})
+		}
+	}
+	pos := make(map[colOrigin]int, len(root.origins))
+	for i, o := range root.origins {
+		pos[o] = i
+	}
+	indices := make([]int, len(want))
+	identity := true
+	for i, o := range want {
+		indices[i] = pos[o]
+		if indices[i] != i {
+			identity = false
+		}
+	}
+	if !identity {
+		op = &relation.ColumnMap{Input: op, Indices: indices}
+	}
+	return op, nil
+}
+
+// classifyEquiConjunct marks a conjunct as a hash-joinable equi-join
+// when it is a bare "ident = ident" across two distinct relations with
+// hash-compatible column types.
+func classifyEquiConjunct(c *conjunct, rels []*planRel) {
+	be, ok := c.expr.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		return
+	}
+	li, lok := be.Left.(*Ident)
+	ri, rok := be.Right.(*Ident)
+	if !lok || !rok {
+		return
+	}
+	lo, lok := resolveIn(li, rels)
+	ro, rok := resolveIn(ri, rels)
+	if !lok || !rok || lo.rel == ro.rel {
+		return
+	}
+	lt := rels[lo.rel].schema.Columns[lo.idx].Type
+	rt := rels[ro.rel].schema.Columns[ro.idx].Type
+	if !relation.HashJoinableTypes(lt, rt) {
+		return
+	}
+	c.eq, c.eqL, c.eqR = true, lo, ro
+}
+
+func resolveIn(id *Ident, rels []*planRel) (colOrigin, bool) {
+	found := colOrigin{rel: -1}
+	n := 0
+	for ri, rel := range rels {
+		if idx, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+			found = colOrigin{ri, idx}
+			n++
+		}
+	}
+	return found, n == 1
+}
+
+func leafNode(ri int, rels []*planRel) *joinNode {
+	rel := rels[ri]
+	origins := make([]colOrigin, rel.schema.Len())
+	for i := range origins {
+		origins[i] = colOrigin{ri, i}
+	}
+	return &joinNode{
+		op: rel.op, mask: 1 << uint(ri), rows: rel.rows, cost: rel.cost,
+		schema: rel.schema, origins: origins,
+	}
+}
+
+// joinStep joins a DP node with one more relation, applying every
+// conjunct first covered by the combined subset and choosing hash
+// versus nested-loop join (and build side) by estimated cost.
+func joinStep(left *joinNode, ri int, rels []*planRel, conjs []conjunct, notes map[relation.Operator]string) *joinNode {
+	rel := rels[ri]
+	bit := uint(1) << uint(ri)
+	newmask := left.mask | bit
+
+	// Conjuncts newly covered by this subset.
+	var keysL, keysR []int // key column indices in left node / right rel
+	var keyPairs []conjunct
+	var residual []ExprNode
+	sel := 1.0
+	for _, c := range conjs {
+		if c.mask&bit == 0 || c.mask&^newmask != 0 || c.mask == bit || c.mask == 0 {
+			continue
+		}
+		if c.eq && (c.eqL.rel == ri || c.eqR.rel == ri) {
+			lo, ro := c.eqL, c.eqR
+			if ro.rel != ri {
+				lo, ro = ro, lo
+			}
+			li := originIndex(left.origins, lo)
+			if li >= 0 {
+				keysL = append(keysL, li)
+				keysR = append(keysR, ro.idx)
+				keyPairs = append(keyPairs, c)
+				dl := rels[lo.rel].distinctOf(lo.idx)
+				dr := rel.distinctOf(ro.idx)
+				if dr > dl {
+					dl = dr
+				}
+				sel /= dl
+				continue
+			}
+		}
+		residual = append(residual, c.expr)
+		sel *= joinSelectivity(c.expr)
+	}
+
+	outRows := left.rows * rel.rows * sel
+	if outRows < 1 {
+		outRows = 1
+	}
+
+	// A nested-loop pair evaluates a compiled predicate; a hash probe is
+	// one key lookup. Weight the former so hash wins whenever an equi
+	// key exists and the inputs aren't trivially small.
+	const nlCompareCost = 4.0
+	costNL := left.cost + rel.cost + nlCompareCost*left.rows*rel.rows
+	costHash := left.cost + rel.cost + left.rows + rel.rows + outRows
+	useHash := len(keysL) > 0 && costHash <= costNL
+
+	var op relation.Operator
+	var schema *relation.Schema
+	var origins []colOrigin
+	cost := costNL
+	if useHash {
+		cost = costHash
+		// HashJoin builds its map on Right: put the smaller input there.
+		if rel.rows <= left.rows {
+			op = &relation.HashJoin{Left: left.op, Right: rel.op, LeftKeys: keysL, RightKeys: keysR}
+			schema = left.schema.Concat(rel.schema)
+			origins = concatOrigins(left.origins, leafOrigins(ri, rel))
+		} else {
+			op = &relation.HashJoin{Left: rel.op, Right: left.op, LeftKeys: keysR, RightKeys: keysL}
+			schema = rel.schema.Concat(left.schema)
+			origins = concatOrigins(leafOrigins(ri, rel), left.origins)
+		}
+		notes[op] = fmt.Sprintf("rows≈%.0f cost≈%.0f", outRows, cost)
+		if len(residual) > 0 {
+			pred, err := compileOnOrigins(residual, schema)
+			if err != nil {
+				// Should not happen (idents were validated); degrade to
+				// treating the equi keys only and let the caller's
+				// residual application fail loudly via nested loop.
+				return nestedLoopNode(left, ri, rel, append(residual, exprsOf(keyPairs)...), outRows, costNL, notes)
+			}
+			op = &relation.Select{Input: op, Pred: pred}
+		}
+	} else {
+		all := append(append([]ExprNode{}, residual...), exprsOf(keyPairs)...)
+		return nestedLoopNode(left, ri, rel, all, outRows, costNL, notes)
+	}
+	return &joinNode{op: op, mask: newmask, rows: outRows, cost: cost, schema: schema, origins: origins}
+}
+
+func nestedLoopNode(left *joinNode, ri int, rel *planRel, preds []ExprNode, rows, cost float64, notes map[relation.Operator]string) *joinNode {
+	// NestedLoopJoin materializes Right in Open: smaller side there.
+	var l, r relation.Operator
+	var schema *relation.Schema
+	var origins []colOrigin
+	if rel.rows <= left.rows {
+		l, r = left.op, rel.op
+		schema = left.schema.Concat(rel.schema)
+		origins = concatOrigins(left.origins, leafOrigins(ri, rel))
+	} else {
+		l, r = rel.op, left.op
+		schema = rel.schema.Concat(left.schema)
+		origins = concatOrigins(leafOrigins(ri, rel), left.origins)
+	}
+	nl := &relation.NestedLoopJoin{Left: l, Right: r}
+	if len(preds) > 0 {
+		pred, err := compileOnOrigins(preds, schema)
+		if err == nil {
+			nl.Pred = pred
+		} else {
+			// Leave as cross join plus a filter that will fail at
+			// compile time on the caller — cannot happen after the
+			// resolvability pre-check.
+			nl.Pred = nil
+		}
+	}
+	notes[nl] = fmt.Sprintf("rows≈%.0f cost≈%.0f", rows, cost)
+	return &joinNode{op: nl, mask: left.mask | 1<<uint(ri), rows: rows, cost: cost, schema: schema, origins: origins}
+}
+
+func exprsOf(cs []conjunct) []ExprNode {
+	out := make([]ExprNode, len(cs))
+	for i, c := range cs {
+		out[i] = c.expr
+	}
+	return out
+}
+
+func leafOrigins(ri int, rel *planRel) []colOrigin {
+	origins := make([]colOrigin, rel.schema.Len())
+	for i := range origins {
+		origins[i] = colOrigin{ri, i}
+	}
+	return origins
+}
+
+func concatOrigins(a, b []colOrigin) []colOrigin {
+	out := make([]colOrigin, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func originIndex(origins []colOrigin, o colOrigin) int {
+	for i, x := range origins {
+		if x == o {
+			return i
+		}
+	}
+	return -1
+}
+
+func compileOnOrigins(preds []ExprNode, schema *relation.Schema) (relation.Expr, error) {
+	return compileExpr(joinAndAST(preds), schema)
+}
+
+// greedyOrder is the fallback join-order heuristic: start from the
+// smallest relation, repeatedly absorb the relation that minimizes the
+// joined cardinality.
+func greedyOrder(bs *budgetState, rels []*planRel, conjs []conjunct, notes map[relation.Operator]string) *joinNode {
+	start := 0
+	for ri := range rels {
+		if rels[ri].rows < rels[start].rows {
+			start = ri
+		}
+	}
+	node := leafNode(start, rels)
+	remaining := map[int]bool{}
+	for ri := range rels {
+		if ri != start {
+			remaining[ri] = true
+		}
+	}
+	for len(remaining) > 0 {
+		bs.poll()
+		bestRi, bestCost := -1, 0.0
+		var bestNode *joinNode
+		for ri := range remaining {
+			cand := joinStep(node, ri, rels, conjs, notes)
+			// Prefer connected joins strongly: a cross join only when
+			// nothing shares a predicate with the current subset.
+			cost := cand.cost
+			if !connected(node.mask, ri, conjs) {
+				cost *= 1e6
+			}
+			if bestRi < 0 || cost < bestCost {
+				bestRi, bestCost, bestNode = ri, cost, cand
+			}
+		}
+		node = bestNode
+		delete(remaining, bestRi)
+	}
+	return node
+}
+
+func connected(mask uint, ri int, conjs []conjunct) bool {
+	bit := uint(1) << uint(ri)
+	for _, c := range conjs {
+		if c.mask&bit != 0 && c.mask&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func joinAndAST(es []ExprNode) ExprNode {
+	out := es[0]
+	for _, e := range es[1:] {
+		out = &BinaryExpr{Op: "AND", Left: out, Right: e}
+	}
+	return out
+}
+
+func usesIndexScan(op relation.Operator) bool {
+	switch o := op.(type) {
+	case *relation.IndexScan:
+		return true
+	case *relation.Select:
+		return usesIndexScan(o.Input)
+	case *relation.Rename:
+		return usesIndexScan(o.Input)
+	case *relation.ColumnMap:
+		return usesIndexScan(o.Input)
+	}
+	return false
+}
+
+// filterSelectivity estimates the fraction of a relation's rows passing
+// a single-relation predicate, using column statistics where the
+// predicate shape allows and textbook constants elsewhere.
+func filterSelectivity(e ExprNode, rel *planRel) float64 {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		switch n.Op {
+		case "AND":
+			return clampSel(filterSelectivity(n.Left, rel) * filterSelectivity(n.Right, rel))
+		case "OR":
+			a, b := filterSelectivity(n.Left, rel), filterSelectivity(n.Right, rel)
+			return clampSel(a + b - a*b)
+		case "=":
+			if id, _ := identConstSides(n); id != nil {
+				if idx, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+					return clampSel(1 / rel.distinctOf(idx))
+				}
+			}
+			return 0.1
+		case "<>":
+			if id, _ := identConstSides(n); id != nil {
+				if idx, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+					return clampSel(1 - 1/rel.distinctOf(idx))
+				}
+			}
+			return 0.9
+		case "<", "<=", ">", ">=":
+			if id, lit := identConstSides(n); id != nil && lit != nil {
+				if s, ok := rangeSelectivity(n.Op, id, lit, rel, n.Left == id); ok {
+					return s
+				}
+			}
+			return 1.0 / 3
+		}
+		return 0.5
+	case *UnaryExpr:
+		if n.Op == "NOT" {
+			return clampSel(1 - filterSelectivity(n.Child, rel))
+		}
+		return 0.5
+	case *IsNullExpr:
+		if id, ok := n.Child.(*Ident); ok {
+			if idx, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+				base := rel.baseCol(idx)
+				if base >= 0 && base < len(rel.stats.Cols) && rel.stats.Rows > 0 {
+					s := float64(rel.stats.Cols[base].Nulls) / float64(rel.stats.Rows)
+					if n.Negate {
+						s = 1 - s
+					}
+					return clampSel(s)
+				}
+			}
+		}
+		return 0.1
+	case *LikeExpr:
+		return 0.25
+	case *InExpr:
+		return inSelectivity(n.Child, len(n.List), n.Negate, rel)
+	case *resolvedIn:
+		return inSelectivity(n.Child, len(n.Set), n.Negate, rel)
+	case *BetweenExpr:
+		return 0.25
+	}
+	return 0.5
+}
+
+func inSelectivity(child ExprNode, setSize int, negate bool, rel *planRel) float64 {
+	s := 0.3
+	if id, ok := child.(*Ident); ok {
+		if idx, err := rel.schema.Resolve(id.Qualifier, id.Name); err == nil {
+			s = clampSel(float64(setSize) / rel.distinctOf(idx))
+		}
+	}
+	if negate {
+		s = 1 - s
+	}
+	return clampSel(s)
+}
+
+// rangeSelectivity interpolates "col < C" style predicates against the
+// column's min/max when all three are numeric.
+func rangeSelectivity(op string, id *Ident, lit *Lit, rel *planRel, identOnLeft bool) (float64, bool) {
+	idx, err := rel.schema.Resolve(id.Qualifier, id.Name)
+	if err != nil {
+		return 0, false
+	}
+	base := rel.baseCol(idx)
+	if base < 0 || base >= len(rel.stats.Cols) {
+		return 0, false
+	}
+	cs := rel.stats.Cols[base]
+	lo, lok := cs.Min.AsFloat()
+	hi, hok := cs.Max.AsFloat()
+	c, cok := litValue(lit).AsFloat()
+	if !lok || !hok || !cok || hi <= lo {
+		return 0, false
+	}
+	frac := (c - lo) / (hi - lo) // fraction of the range below C
+	if !identOnLeft {
+		// "C op col" mirrors the comparison.
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	switch op {
+	case "<", "<=":
+		return clampSel(frac), true
+	case ">", ">=":
+		return clampSel(1 - frac), true
+	}
+	return 0, false
+}
+
+func identConstSides(n *BinaryExpr) (*Ident, *Lit) {
+	if id, ok := n.Left.(*Ident); ok {
+		if lit, ok := n.Right.(*Lit); ok {
+			return id, lit
+		}
+	}
+	if id, ok := n.Right.(*Ident); ok {
+		if lit, ok := n.Left.(*Lit); ok {
+			return id, lit
+		}
+	}
+	return nil, nil
+}
+
+// joinSelectivity is the stats-free estimate for residual multi-
+// relation conjuncts.
+func joinSelectivity(e ExprNode) float64 {
+	if be, ok := e.(*BinaryExpr); ok {
+		switch be.Op {
+		case "=":
+			return 0.1
+		case "<", "<=", ">", ">=":
+			return 1.0 / 3
+		case "<>":
+			return 0.9
+		}
+	}
+	return 0.5
+}
+
+func clampSel(s float64) float64 {
+	if s < 0.0001 {
+		return 0.0001
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

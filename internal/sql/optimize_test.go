@@ -1,0 +1,297 @@
+package sql
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"pcqe/internal/relation"
+)
+
+// starTestCatalog builds a small star schema whose statement order is
+// deliberately bad: the selective filter sits on the last-joined
+// dimension.
+func starTestCatalog(t *testing.T) *relation.Catalog {
+	t.Helper()
+	c := relation.NewCatalog()
+	fact, err := c.CreateTable("fact", relation.NewSchema(
+		relation.Column{Name: "id", Type: relation.TypeInt},
+		relation.Column{Name: "d1", Type: relation.TypeInt},
+		relation.Column{Name: "d2", Type: relation.TypeInt},
+		relation.Column{Name: "amount", Type: relation.TypeFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		fact.MustInsert(0.5+0.4*float64(i%2), nil,
+			relation.Int(int64(i)), relation.Int(int64(i%6)),
+			relation.Int(int64(i%5)), relation.Float(float64(i)*1.5))
+	}
+	for name, n := range map[string]int{"dim1": 6, "dim2": 5} {
+		dim, err := c.CreateTable(name, relation.NewSchema(
+			relation.Column{Name: "k", Type: relation.TypeInt},
+			relation.Column{Name: "attr", Type: relation.TypeInt},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			dim.MustInsert(0.9, nil, relation.Int(int64(i)), relation.Int(int64(i%3)))
+		}
+	}
+	return c
+}
+
+// TestCostBasedMatchesRuleBased is the planner's differential guard:
+// for every corpus query the cost-based plan must return the same
+// multiset of rows, the same schema column names, and confidences
+// within 1e-12 of the rule-based statement-order plan.
+func TestCostBasedMatchesRuleBased(t *testing.T) {
+	ventureQueries := []string{
+		`SELECT DISTINCT CompanyInfo.Company, Income
+		   FROM CompanyInfo JOIN Proposal ON CompanyInfo.Company = Proposal.Company
+		  WHERE Funding < 1000000`,
+		`SELECT Company, Funding FROM Proposal WHERE Funding > 900000 ORDER BY Funding DESC`,
+		`SELECT p.Company, COUNT(*), SUM(Funding)
+		   FROM Proposal p JOIN CompanyInfo c ON p.Company = c.Company
+		  GROUP BY p.Company HAVING COUNT(*) > 0`,
+		`SELECT a.Company FROM Proposal a JOIN Proposal b ON a.Company = b.Company
+		  WHERE a.Proposal <> b.Proposal`,
+		`SELECT Company FROM Proposal WHERE Company LIKE 'Z%' OR Funding BETWEEN 1 AND 900000`,
+		`SELECT CompanyInfo.Company FROM CompanyInfo, Proposal
+		  WHERE CompanyInfo.Company = Proposal.Company AND Income > 100000`,
+		`SELECT Company FROM Proposal UNION SELECT Company FROM CompanyInfo`,
+		`SELECT Income FROM CompanyInfo WHERE Company IN (SELECT Company FROM Proposal)`,
+		`SELECT Company FROM Proposal WHERE _confidence > 0.35`,
+		`SELECT Company, Income FROM CompanyInfo ORDER BY Income LIMIT 1`,
+	}
+	starQueries := []string{
+		`SELECT fact.amount, dim1.attr, dim2.attr
+		   FROM fact JOIN dim1 ON fact.d1 = dim1.k JOIN dim2 ON fact.d2 = dim2.k
+		  WHERE dim2.attr = 1`,
+		`SELECT dim1.attr, SUM(fact.amount)
+		   FROM fact JOIN dim1 ON fact.d1 = dim1.k JOIN dim2 ON fact.d2 = dim2.k
+		  WHERE dim2.attr = 2 AND fact.amount > 10
+		  GROUP BY dim1.attr`,
+		`SELECT fact.id FROM fact JOIN dim1 ON fact.d1 = dim1.k
+		  WHERE dim1.attr = 0 AND fact.id < 30 ORDER BY fact.id`,
+		`SELECT * FROM dim1 JOIN dim2 ON dim1.attr = dim2.attr WHERE dim1.k > dim2.k`,
+	}
+
+	run := func(t *testing.T, cat *relation.Catalog, queries []string) {
+		t.Helper()
+		for _, q := range queries {
+			stmt, err := Parse(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			ruleOp, err := PlanRuleBased(cat, stmt)
+			if err != nil {
+				t.Fatalf("%s: rule-based: %v", q, err)
+			}
+			ruleRows, err := relation.Run(ruleOp)
+			if err != nil {
+				t.Fatalf("%s: rule-based run: %v", q, err)
+			}
+			costOp, info, err := PlanDetailed(cat, stmt)
+			if err != nil {
+				t.Fatalf("%s: cost-based: %v", q, err)
+			}
+			costRows, err := relation.Run(costOp)
+			if err != nil {
+				t.Fatalf("%s: cost-based run: %v", q, err)
+			}
+			if got, want := schemaNames(costOp.Schema()), schemaNames(ruleOp.Schema()); got != want {
+				t.Fatalf("%s: schema %q, want %q", q, got, want)
+			}
+			if len(costRows) != len(ruleRows) {
+				t.Fatalf("%s: %d rows (cost-based, info=%+v), want %d", q, len(costRows), info, len(ruleRows))
+			}
+			rk := sortedKeys(ruleRows)
+			ck := sortedKeys(costRows)
+			for i := range rk {
+				if rk[i] != ck[i] {
+					t.Fatalf("%s: row multiset differs at %d: %q vs %q", q, i, ck[i], rk[i])
+				}
+			}
+			rc := sortedConfs(cat, ruleRows)
+			cc := sortedConfs(cat, costRows)
+			for i := range rc {
+				if math.Abs(rc[i]-cc[i]) > 1e-12 {
+					t.Fatalf("%s: confidence %d: %v vs %v", q, i, cc[i], rc[i])
+				}
+			}
+		}
+	}
+	t.Run("venture", func(t *testing.T) { run(t, ventureCatalog(t), ventureQueries) })
+	t.Run("star", func(t *testing.T) { run(t, starTestCatalog(t), starQueries) })
+	t.Run("star-indexed", func(t *testing.T) {
+		cat := starTestCatalog(t)
+		for _, spec := range [][2]string{{"dim1", "k"}, {"dim2", "attr"}} {
+			tab, err := cat.Table(spec[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tab.CreateIndex(spec[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run(t, cat, starQueries)
+	})
+}
+
+func schemaNames(s *relation.Schema) string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func sortedKeys(rows []*relation.Tuple) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedConfs(cat *relation.Catalog, rows []*relation.Tuple) []float64 {
+	confs := make([]float64, len(rows))
+	for i, r := range rows {
+		confs[i] = cat.Confidence(r)
+	}
+	sort.Float64s(confs)
+	return confs
+}
+
+// TestCostBasedReordersStarJoin checks the optimizer actually changes
+// the join order (filtered dimension first) and surfaces its estimates
+// in EXPLAIN.
+func TestCostBasedReordersStarJoin(t *testing.T) {
+	cat := starTestCatalog(t)
+	res, err := Exec(cat, `EXPLAIN SELECT fact.amount FROM fact
+		JOIN dim1 ON fact.d1 = dim1.k JOIN dim2 ON fact.d2 = dim2.k
+		WHERE dim2.attr = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "cost-based") {
+		t.Fatalf("message %q lacks cost-based marker", res.Message)
+	}
+	if !strings.Contains(res.Plan, "HashJoin") {
+		t.Errorf("plan should use hash joins:\n%s", res.Plan)
+	}
+	if !strings.Contains(res.Plan, "rows≈") || !strings.Contains(res.Plan, "cost≈") {
+		t.Errorf("plan lacks cardinality/cost annotations:\n%s", res.Plan)
+	}
+	// The selective dim2 filter must be applied before the top join:
+	// the Select on dim2.attr appears below a join, not above all of
+	// them (statement order would filter last).
+	firstJoin := strings.Index(res.Plan, "HashJoin")
+	filter := strings.Index(res.Plan, "Select")
+	if filter >= 0 && firstJoin >= 0 && filter < firstJoin {
+		t.Errorf("filter should be pushed below the joins:\n%s", res.Plan)
+	}
+}
+
+// TestCanonicalCaseSensitivity is the regression for the GROUP BY
+// matcher: identifiers fold case, literals must not ('ABC' and 'abc'
+// are different values).
+func TestCanonicalCaseSensitivity(t *testing.T) {
+	upperIdent := &Ident{Qualifier: "T", Name: "Company"}
+	lowerIdent := &Ident{Qualifier: "t", Name: "company"}
+	if canonical(upperIdent) != canonical(lowerIdent) {
+		t.Errorf("identifier matching must be case-insensitive: %q vs %q",
+			canonical(upperIdent), canonical(lowerIdent))
+	}
+	upperLit := &BinaryExpr{Op: "=", Left: &Ident{Name: "c"}, Right: &Lit{Kind: LitString, Str: "ABC"}}
+	lowerLit := &BinaryExpr{Op: "=", Left: &Ident{Name: "c"}, Right: &Lit{Kind: LitString, Str: "abc"}}
+	if canonical(upperLit) == canonical(lowerLit) {
+		t.Errorf("string literals must keep their case: both render %q", canonical(upperLit))
+	}
+	upperLike := &LikeExpr{Child: &Ident{Name: "c"}, Pattern: "Z%"}
+	lowerLike := &LikeExpr{Child: &Ident{Name: "c"}, Pattern: "z%"}
+	if canonical(upperLike) == canonical(lowerLike) {
+		t.Errorf("LIKE patterns must keep their case: both render %q", canonical(upperLike))
+	}
+
+	// Behavioral form: a select item matches its GROUP BY key across
+	// identifier case, but a literal of different case must not match.
+	cat := ventureCatalog(t)
+	if _, _, err := Query(cat, `SELECT COMPANY FROM Proposal GROUP BY company`); err != nil {
+		t.Errorf("identifier case-fold in GROUP BY: %v", err)
+	}
+	if _, _, err := Query(cat, `SELECT Company = 'ZStart' FROM Proposal GROUP BY Company = 'ZStart'`); err != nil {
+		t.Errorf("matching literal expression in GROUP BY: %v", err)
+	}
+	// Before the fix, canonical() lowercased the whole rendering, so the
+	// select item silently bound to the differently-cased group key and
+	// returned the wrong comparison. Now it must fail validation.
+	if _, _, err := Query(cat, `SELECT Company = 'ZStart' FROM Proposal GROUP BY Company = 'zstart'`); err == nil {
+		t.Error("Company = 'ZStart' must not match GROUP BY Company = 'zstart'")
+	}
+}
+
+func TestEquiJoinKeys(t *testing.T) {
+	ls := relation.NewSchema(
+		relation.Column{Name: "a", Type: relation.TypeInt},
+		relation.Column{Name: "s", Type: relation.TypeString},
+	)
+	rs := relation.NewSchema(
+		relation.Column{Name: "b", Type: relation.TypeInt},
+		relation.Column{Name: "f", Type: relation.TypeFloat},
+	)
+	ident := func(name string) *Ident { return &Ident{Name: name} }
+	eq := func(l, r ExprNode) ExprNode { return &BinaryExpr{Op: "=", Left: l, Right: r} }
+
+	t.Run("direct", func(t *testing.T) {
+		lk, rk, ok := equiJoinKeys(eq(ident("a"), ident("b")), ls, rs)
+		if !ok || len(lk) != 1 || lk[0] != 0 || rk[0] != 0 {
+			t.Fatalf("lk=%v rk=%v ok=%v", lk, rk, ok)
+		}
+	})
+	t.Run("reversed-operands", func(t *testing.T) {
+		// b = a resolves by swapping sides.
+		lk, rk, ok := equiJoinKeys(eq(ident("b"), ident("a")), ls, rs)
+		if !ok || len(lk) != 1 || lk[0] != 0 || rk[0] != 0 {
+			t.Fatalf("lk=%v rk=%v ok=%v", lk, rk, ok)
+		}
+	})
+	t.Run("numeric-cross-type", func(t *testing.T) {
+		// INT = FLOAT hashes consistently (Value.Key folds integral
+		// floats onto int keys).
+		if _, _, ok := equiJoinKeys(eq(ident("a"), ident("f")), ls, rs); !ok {
+			t.Fatal("int=float should be hash-joinable")
+		}
+	})
+	t.Run("type-mismatch", func(t *testing.T) {
+		// TEXT = INT must fall back to nested loop so it raises the
+		// same comparison error a WHERE clause would.
+		if _, _, ok := equiJoinKeys(eq(ident("s"), ident("b")), ls, rs); ok {
+			t.Fatal("string=int must not be hash-joinable")
+		}
+	})
+	t.Run("mixed-residual", func(t *testing.T) {
+		on := &BinaryExpr{Op: "AND",
+			Left:  eq(ident("a"), ident("b")),
+			Right: &BinaryExpr{Op: "<", Left: ident("a"), Right: ident("b")},
+		}
+		if _, _, ok := equiJoinKeys(on, ls, rs); ok {
+			t.Fatal("non-equality residual must reject the pure hash path")
+		}
+	})
+	t.Run("constant-operand", func(t *testing.T) {
+		if _, _, ok := equiJoinKeys(eq(ident("a"), &Lit{Kind: LitInt, Int: 1}), ls, rs); ok {
+			t.Fatal("ident=literal is not a join key")
+		}
+	})
+	t.Run("unresolvable", func(t *testing.T) {
+		if _, _, ok := equiJoinKeys(eq(ident("a"), ident("nope")), ls, rs); ok {
+			t.Fatal("unresolvable column must reject")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package sql
+
+import (
+	"container/list"
+	"sync"
+
+	"pcqe/internal/obs"
+	"pcqe/internal/relation"
+)
+
+// PlanCache memoizes compiled operator trees keyed on the statement's
+// normalized fingerprint (see fingerprint.go). Operators are re-openable
+// by contract, so a cached tree is re-run directly — but a tree can bake
+// plan-time state in (materialized IN-subqueries, chosen index paths),
+// so every hit is validated against the catalog version, and against
+// the confidence epoch when the statement mentions _confidence. A tree
+// also holds run state, so an entry is checked out exclusively while it
+// runs; a concurrent query for the same key plans afresh.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*planEntry
+	order    *list.List // LRU: front = most recent
+	hits     int64
+	misses   int64
+	metrics  *obs.Metrics
+}
+
+type planEntry struct {
+	key           string
+	op            relation.Operator
+	schema        *relation.Schema
+	info          *PlanInfo
+	version       int64
+	confSensitive bool
+	confEpoch     int64
+	inUse         bool
+	elem          *list.Element
+}
+
+// DefaultPlanCacheSize bounds the cache when NewPlanCache is given a
+// non-positive capacity.
+const DefaultPlanCacheSize = 256
+
+// NewPlanCache builds an LRU plan cache.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{capacity: capacity, entries: map[string]*planEntry{}, order: list.New()}
+}
+
+// SetMetrics publishes hit/miss counters to the registry (nil-safe).
+func (pc *PlanCache) SetMetrics(m *obs.Metrics) {
+	pc.mu.Lock()
+	pc.metrics = m
+	pc.mu.Unlock()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (pc *PlanCache) Stats() (hits, misses int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// Len returns the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}
+
+// Query parses, plans and runs a SQL string through the cache. It is
+// the cached equivalent of sql.Query.
+func (pc *PlanCache) Query(cat *relation.Catalog, query string) ([]*relation.Tuple, *relation.Schema, error) {
+	rows, schema, _, err := pc.QueryDetailed(cat, query)
+	return rows, schema, err
+}
+
+// QueryDetailed is Query, additionally returning the plan's metadata.
+func (pc *PlanCache) QueryDetailed(cat *relation.Catalog, query string) ([]*relation.Tuple, *relation.Schema, *PlanInfo, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shape, lits := fingerprintStmt(stmt)
+	key := cacheKey(shape, lits)
+
+	entry, cached := pc.checkout(cat, key)
+	if !cached {
+		op, info, err := PlanDetailed(cat, stmt)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		entry = &planEntry{
+			key: key, op: op, schema: op.Schema(), info: info,
+			version:       cat.Version(),
+			confSensitive: stmtTreeReferencesConfidence(stmt),
+			confEpoch:     cat.ConfEpoch(),
+			inUse:         true,
+		}
+	}
+	rows, err := relation.Run(entry.op)
+	pc.release(entry, cached, err == nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rows, entry.schema, entry.info, nil
+}
+
+// checkout looks the key up and, on a valid idle hit, marks the entry
+// in-use. Stale entries are dropped; busy or absent keys count as
+// misses.
+func (pc *PlanCache) checkout(cat *relation.Catalog, key string) (*planEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if ok {
+		stale := e.version != cat.Version() || (e.confSensitive && e.confEpoch != cat.ConfEpoch())
+		if stale && !e.inUse {
+			delete(pc.entries, key)
+			pc.order.Remove(e.elem)
+			ok = false
+		} else if stale || e.inUse {
+			ok = false
+			e = nil
+		}
+	} else {
+		e = nil
+	}
+	if ok {
+		e.inUse = true
+		pc.order.MoveToFront(e.elem)
+		pc.hits++
+		pc.metrics.Counter("sql.plancache.hits").Inc()
+		return e, true
+	}
+	pc.misses++
+	pc.metrics.Counter("sql.plancache.misses").Inc()
+	return nil, false
+}
+
+// release returns an entry after a run. Fresh plans are inserted when
+// the run succeeded and the key is still free; cached ones are marked
+// idle again.
+func (pc *PlanCache) release(e *planEntry, wasCached, runOK bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if wasCached {
+		e.inUse = false
+		pc.order.MoveToFront(e.elem)
+		return
+	}
+	if !runOK {
+		return
+	}
+	if _, exists := pc.entries[e.key]; exists {
+		return // a concurrent run already cached this key
+	}
+	e.inUse = false
+	e.elem = pc.order.PushFront(e)
+	pc.entries[e.key] = e
+	for len(pc.entries) > pc.capacity {
+		// Evict from the back, skipping entries currently running.
+		evicted := false
+		for el := pc.order.Back(); el != nil; el = el.Prev() {
+			v := el.Value.(*planEntry)
+			if v.inUse {
+				continue
+			}
+			delete(pc.entries, v.key)
+			pc.order.Remove(el)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything busy; allow temporary overflow
+		}
+	}
+}

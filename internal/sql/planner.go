@@ -7,16 +7,60 @@ import (
 	"pcqe/internal/relation"
 )
 
+// PlanInfo carries planner metadata alongside the operator tree.
+type PlanInfo struct {
+	// Notes annotates operators with cardinality/cost estimates for
+	// EXPLAIN (see relation.ExplainAnnotated).
+	Notes map[relation.Operator]string
+	// CostBased reports whether the cost-based join planner produced at
+	// least one select block of the plan (false when every block fell
+	// back to the rule-based statement-order path).
+	CostBased bool
+	// LineageHint is a static prediction of result-formula complexity:
+	// "read-once" when the statement's shape guarantees every result
+	// lineage is read-once (no DISTINCT, aggregation, deduplicating set
+	// operation, or repeated table), else "may-share". Evaluation
+	// re-checks per formula; the hint is advisory (spans, EXPLAIN).
+	LineageHint string
+}
+
 // Plan compiles a parsed statement into a relational operator tree over
 // the catalog's tables. The resulting operator propagates lineage, so
 // running it yields tuples whose confidence the catalog can compute.
 func Plan(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
-	op, err := planSingle(cat, stmt)
+	op, _, err := PlanDetailed(cat, stmt)
+	return op, err
+}
+
+// PlanDetailed is Plan, additionally returning the planner's metadata
+// (cost annotations, lineage hint). Join order and access paths are
+// chosen by estimated cost where the statement shape allows it, falling
+// back to the rule-based statement-order plan otherwise.
+func PlanDetailed(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, *PlanInfo, error) {
+	info := &PlanInfo{Notes: map[relation.Operator]string{}, LineageHint: lineageHint(stmt)}
+	op, err := planStmt(cat, stmt, info, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, info, nil
+}
+
+// PlanRuleBased compiles the statement with the pre-cost-model planner:
+// joins in statement order, hash join whenever the ON clause is a pure
+// equi-join, no reordering or pushdown beyond the single-table index
+// rewrite. Kept as the differential baseline for the cost-based path.
+func PlanRuleBased(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
+	info := &PlanInfo{Notes: map[relation.Operator]string{}}
+	return planStmt(cat, stmt, info, false)
+}
+
+func planStmt(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool) (relation.Operator, error) {
+	op, err := planSingle(cat, stmt, info, costBased)
 	if err != nil {
 		return nil, err
 	}
 	for stmt.SetOp != SetNone {
-		right, err := planSingle(cat, stmt.Next)
+		right, err := planSingle(cat, stmt.Next, info, costBased)
 		if err != nil {
 			return nil, err
 		}
@@ -52,49 +96,29 @@ func Query(cat *relation.Catalog, query string) ([]*relation.Tuple, *relation.Sc
 	return rows, op.Schema(), nil
 }
 
-func planSingle(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
-	// FROM clause: base table, then joins.
-	op, err := planTable(cat, stmt.From)
-	if err != nil {
-		return nil, err
-	}
-	for _, j := range stmt.Joins {
-		right, err := planTable(cat, j.Table)
-		if err != nil {
-			return nil, err
-		}
-		on, err := resolveSubqueries(cat, j.On)
-		if err != nil {
-			return nil, err
-		}
-		op, err = planJoin(op, right, on)
-		if err != nil {
-			return nil, err
-		}
-	}
+func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool) (relation.Operator, error) {
+	var op relation.Operator
+	var err error
 
-	// The _confidence pseudo-column: when the statement references it,
-	// attach each row's lineage probability (under the catalog's current
-	// confidences) as an extra REAL column right after the FROM block —
-	// the same value the policy layer computes for the final results of
-	// a select-project query.
-	if stmtReferencesConfidence(stmt) {
-		op = &relation.AttachConfidence{Input: op, Assign: cat}
-	}
-
-	// WHERE (IN-subqueries are materialized first; they must be
-	// uncorrelated — no references to the outer query's columns).
-	where, err := resolveSubqueries(cat, stmt.Where)
-	if err != nil {
-		return nil, err
-	}
-	if where != nil {
-		pred, err := compileExpr(where, op.Schema())
+	// Cost-based FROM+WHERE block: join reordering with predicate and
+	// projection pushdown, cost-chosen join algorithms. planCostBased
+	// returns nil (no error) when the statement shape is outside its
+	// fragment; the rule-based path below then keeps the pre-existing
+	// semantics (including its error messages).
+	if costBased && !stmtReferencesConfidence(stmt) {
+		op, err = planCostBased(cat, stmt, info)
 		if err != nil {
 			return nil, err
 		}
-		// Use a hash index for an equality conjunct when one exists.
-		op = relation.OptimizeIndexedSelect(&relation.Select{Input: op, Pred: pred})
+		if op != nil {
+			info.CostBased = true
+		}
+	}
+	if op == nil {
+		op, err = planFromWhere(cat, stmt)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	hasAgg := stmt.Having != nil && containsAgg(stmt.Having)
@@ -145,6 +169,100 @@ func planSingle(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, err
 		op = &relation.Limit{Input: op, N: stmt.Limit, Offset: stmt.Offset}
 	}
 	return op, nil
+}
+
+// planFromWhere is the rule-based FROM+WHERE block: joins in statement
+// order, then AttachConfidence when referenced, then the WHERE filter.
+func planFromWhere(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
+	// FROM clause: base table, then joins.
+	op, err := planTable(cat, stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		right, err := planTable(cat, j.Table)
+		if err != nil {
+			return nil, err
+		}
+		on, err := resolveSubqueries(cat, j.On)
+		if err != nil {
+			return nil, err
+		}
+		op, err = planJoin(op, right, on)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The _confidence pseudo-column: when the statement references it,
+	// attach each row's lineage probability (under the catalog's current
+	// confidences) as an extra REAL column right after the FROM block —
+	// the same value the policy layer computes for the final results of
+	// a select-project query.
+	if stmtReferencesConfidence(stmt) {
+		op = &relation.AttachConfidence{Input: op, Assign: cat}
+	}
+
+	// WHERE (IN-subqueries are materialized first; they must be
+	// uncorrelated — no references to the outer query's columns).
+	where, err := resolveSubqueries(cat, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	if where != nil {
+		pred, err := compileExpr(where, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		// Use a hash index for an equality conjunct when one exists.
+		op = relation.OptimizeIndexedSelect(&relation.Select{Input: op, Pred: pred})
+	}
+	return op, nil
+}
+
+// lineageHint statically predicts whether every result formula of the
+// statement is read-once: each base tuple contributes at most one leaf,
+// which holds when no block deduplicates (DISTINCT, INTERSECT/EXCEPT/
+// UNION without ALL), aggregates, or reads the same table twice.
+func lineageHint(stmt *SelectStmt) string {
+	if stmtMayShare(stmt, map[string]bool{}) {
+		return "may-share"
+	}
+	return "read-once"
+}
+
+func stmtMayShare(stmt *SelectStmt, tables map[string]bool) bool {
+	for s := stmt; s != nil; s = s.Next {
+		if s.Distinct || len(s.GroupBy) > 0 || s.Having != nil {
+			return true
+		}
+		if s.SetOp == SetUnion || s.SetOp == SetIntersect || s.SetOp == SetExcept {
+			return true
+		}
+		for _, it := range s.Items {
+			if !it.Star && containsAgg(it.Expr) {
+				return true
+			}
+		}
+		refs := []TableRef{s.From}
+		for _, j := range s.Joins {
+			refs = append(refs, j.Table)
+		}
+		for _, tr := range refs {
+			if tr.Sub != nil {
+				if stmtMayShare(tr.Sub, tables) {
+					return true
+				}
+				continue
+			}
+			name := strings.ToLower(tr.Name)
+			if tables[name] {
+				return true
+			}
+			tables[name] = true
+		}
+	}
+	return false
 }
 
 // stmtReferencesConfidence reports whether any expression of the single
@@ -331,20 +449,23 @@ func equiJoinKeys(on ExprNode, ls, rs *relation.Schema) (lk, rk []int, ok bool) 
 		}
 		lidx, lerr := ls.Resolve(li.Qualifier, li.Name)
 		ridx, rerr := rs.Resolve(ri.Qualifier, ri.Name)
-		if lerr == nil && rerr == nil {
-			lk = append(lk, lidx)
-			rk = append(rk, ridx)
-			continue
+		if lerr != nil || rerr != nil {
+			// Maybe the identifiers are swapped across sides.
+			lidx, lerr = ls.Resolve(ri.Qualifier, ri.Name)
+			ridx, rerr = rs.Resolve(li.Qualifier, li.Name)
 		}
-		// Maybe the identifiers are swapped across sides.
-		lidx, lerr = ls.Resolve(ri.Qualifier, ri.Name)
-		ridx, rerr = rs.Resolve(li.Qualifier, li.Name)
-		if lerr == nil && rerr == nil {
-			lk = append(lk, lidx)
-			rk = append(rk, ridx)
-			continue
+		if lerr != nil || rerr != nil {
+			return nil, nil, false
 		}
-		return nil, nil, false
+		// Hash joins match on value keys; only types whose keys agree
+		// exactly with Compare-equality qualify. A mismatched pair (e.g.
+		// TEXT = INT) must take the nested-loop path so it raises the
+		// same comparison error a WHERE clause would.
+		if !relation.HashJoinableTypes(ls.Columns[lidx].Type, rs.Columns[ridx].Type) {
+			return nil, nil, false
+		}
+		lk = append(lk, lidx)
+		rk = append(rk, ridx)
 	}
 	return lk, rk, len(lk) > 0
 }
@@ -542,8 +663,82 @@ func defaultName(e ExprNode) string {
 }
 
 // canonical renders an expression for structural matching (GROUP BY and
-// aggregate dedup), lower-casing identifiers.
-func canonical(e ExprNode) string { return strings.ToLower(e.SQL()) }
+// aggregate dedup), lower-casing identifiers — and only identifiers.
+// Lowercasing the whole rendered SQL would collapse case-differing
+// string literals ('ABC' vs 'abc'), silently matching GROUP BY
+// expressions that compute different values.
+func canonical(e ExprNode) string {
+	var b strings.Builder
+	writeCanonical(&b, e)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, e ExprNode) {
+	switch n := e.(type) {
+	case *Ident:
+		b.WriteString(strings.ToLower(n.SQL()))
+	case *BinaryExpr:
+		b.WriteString("(")
+		writeCanonical(b, n.Left)
+		b.WriteString(" " + n.Op + " ")
+		writeCanonical(b, n.Right)
+		b.WriteString(")")
+	case *UnaryExpr:
+		b.WriteString(n.Op)
+		if n.Op == "NOT" {
+			b.WriteString(" ")
+		}
+		writeCanonical(b, n.Child)
+	case *IsNullExpr:
+		writeCanonical(b, n.Child)
+		if n.Negate {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	case *LikeExpr:
+		writeCanonical(b, n.Child)
+		if n.Negate {
+			b.WriteString(" NOT")
+		}
+		// The pattern is a literal: case preserved.
+		b.WriteString(" LIKE '" + n.Pattern + "'")
+	case *InExpr:
+		writeCanonical(b, n.Child)
+		if n.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, item := range n.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeCanonical(b, item)
+		}
+		b.WriteString(")")
+	case *BetweenExpr:
+		writeCanonical(b, n.Child)
+		if n.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		writeCanonical(b, n.Lo)
+		b.WriteString(" AND ")
+		writeCanonical(b, n.Hi)
+	case *FuncCall:
+		b.WriteString(n.Name + "(")
+		if n.Star {
+			b.WriteString("*")
+		} else {
+			writeCanonical(b, n.Arg)
+		}
+		b.WriteString(")")
+	default:
+		// Literals and anything unrecognized render verbatim: never
+		// case-fold a value.
+		b.WriteString(e.SQL())
+	}
+}
 
 func walkExpr(e ExprNode, f func(ExprNode)) {
 	if e == nil {
@@ -565,6 +760,8 @@ func walkExpr(e ExprNode, f func(ExprNode)) {
 		for _, x := range n.List {
 			walkExpr(x, f)
 		}
+	case *resolvedIn:
+		walkExpr(n.Child, f)
 	case *BetweenExpr:
 		walkExpr(n.Child, f)
 		walkExpr(n.Lo, f)
