@@ -4,9 +4,9 @@
 # the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet lint build test race differential bench bench-parallel bench-planner obs-smoke
+.PHONY: check vet lint build test race differential mvcc-stress bench bench-parallel bench-planner obs-smoke
 
-check: vet lint build race differential obs-smoke
+check: vet lint build race mvcc-stress differential obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The MVCC suite under the race detector: snapshot-isolation semantics,
+# the concurrent reader/writer stress tests with commit-fault injection,
+# and the transactional improvement-plan apply path. -count=1 forces a
+# fresh run (the stress tests are scheduling-sensitive, so a cached
+# verdict proves nothing).
+mvcc-stress:
+	$(GO) test -race -count=1 -run 'MVCC' ./internal/relation/ ./internal/core/
 
 # The compiled-vs-treewalk differential tests (bit-identical plans and
 # derivative rows) in internal/lineage and internal/strategy.

@@ -108,6 +108,63 @@ func joinOrderPolled(rels []int, bs *budgetState) int {
 	return best
 }
 
+// txn models a write transaction applying an improvement plan: the
+// commit loop writes one confidence increment per iteration while
+// holding the single-writer lock, so a solve that cannot observe budget
+// exhaustion inside it would stall every other writer too.
+type txn struct {
+	bs *budgetState
+}
+
+func (x *txn) setConfidence(v int) { _ = v }
+
+// applyLoopUnpolled is the non-compliant transaction shape: increments
+// are written in a working loop that never checkpoints.
+func (x *txn) applyLoopUnpolled(incs []int) int {
+	n := 0
+	for _, v := range incs { // want `never reaches a SolveContext checkpoint`
+		x.setConfidence(v)
+		n += work()
+	}
+	return n
+}
+
+// applyLoopPolled is the compliant shape: every increment passes a
+// checkpoint before it is written, so a budget or cancellation surfaces
+// mid-transaction and the caller rolls back.
+func (x *txn) applyLoopPolled(incs []int) int {
+	n := 0
+	for _, v := range incs {
+		x.bs.poll()
+		x.setConfidence(v)
+		n += work()
+	}
+	return n
+}
+
+// commitRetryUnpolled models a commit-retry loop (re-begin after an
+// injected commit fault) with no checkpoint: infinite retry against a
+// persistent fault would never observe the deadline.
+func (x *txn) commitRetryUnpolled(attempts int) int {
+	n := 0
+	for i := 0; i < attempts; i++ { // want `never reaches a SolveContext checkpoint`
+		x.setConfidence(i)
+		n += work()
+	}
+	return n
+}
+
+// commitRetryPolled retries with a checkpoint per attempt.
+func (x *txn) commitRetryPolled(attempts int) int {
+	n := 0
+	for i := 0; i < attempts; i++ {
+		x.bs.poll()
+		x.setConfidence(i)
+		n += work()
+	}
+	return n
+}
+
 // suppressed documents an intentionally unbudgeted loop.
 func (s *solver) suppressed(n int) int {
 	total := 0

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,10 @@ const (
 	// deadline, a solver budget, or a recovered solver fault — the
 	// response degraded to a partial proposal or none.
 	AuditDegrade
+	// AuditRollback records that an accepted improvement plan failed to
+	// apply and its transaction was rolled back: the database is
+	// unchanged, nothing was billed.
+	AuditRollback
 )
 
 // String returns the event kind's name.
@@ -38,6 +43,8 @@ func (k AuditEventKind) String() string {
 		return "apply"
 	case AuditDegrade:
 		return "degrade"
+	case AuditRollback:
+		return "rollback"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -63,6 +70,15 @@ type AuditEvent struct {
 	Partial bool
 	// Detail carries the degradation cause for degrade events.
 	Detail string
+	// ReadVersion is the committed catalog version the event's evaluation
+	// (or the proposal behind an apply) read. CommitVersion is the
+	// version an apply's transaction produced; the two bracket exactly
+	// what the plan changed, and replaying the journal's apply events in
+	// CommitVersion order reconstructs every improved confidence (see
+	// ReplayConfidences). Zero means "not recorded" (pre-MVCC events,
+	// rolled-back applies).
+	ReadVersion   int64
+	CommitVersion int64
 }
 
 // String renders the event as one journal line.
@@ -82,6 +98,14 @@ func (e AuditEvent) String() string {
 		}
 	case AuditDegrade:
 		fmt.Fprintf(&b, " partial=%t cause=%q", e.Partial, e.Detail)
+	case AuditRollback:
+		fmt.Fprintf(&b, " cause=%q", e.Detail)
+	}
+	if e.ReadVersion > 0 {
+		fmt.Fprintf(&b, " read_version=%d", e.ReadVersion)
+	}
+	if e.CommitVersion > 0 {
+		fmt.Fprintf(&b, " commit_version=%d", e.CommitVersion)
 	}
 	return b.String()
 }
@@ -147,6 +171,36 @@ func (l *AuditLog) TotalImprovementSpend() float64 {
 	return total
 }
 
+// ReplayConfidences folds the journal's apply events with
+// CommitVersion in (0, upTo] — in commit order — into the confidence
+// each improved tuple reached by version upTo. Together with
+// Catalog.SnapshotAt this makes the journal verifiable: for every
+// improved variable, the replayed confidence must equal the snapshot's
+// at the same version (tested by the audit suite).
+func (l *AuditLog) ReplayConfidences(upTo int64) map[lineage.Var]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	type applied struct {
+		v    int64
+		incs []Increment
+	}
+	var applies []applied
+	for _, e := range l.events {
+		if e.Kind != AuditApply || e.CommitVersion <= 0 || e.CommitVersion > upTo {
+			continue
+		}
+		applies = append(applies, applied{v: e.CommitVersion, incs: e.Increments})
+	}
+	sort.Slice(applies, func(i, j int) bool { return applies[i].v < applies[j].v })
+	out := map[lineage.Var]float64{}
+	for _, a := range applies {
+		for _, inc := range a.incs {
+			out[inc.Var] = inc.To
+		}
+	}
+	return out
+}
+
 // ImprovedTuples returns the distinct base tuples whose confidence was
 // raised by applied plans, with the cumulative spend per tuple.
 func (l *AuditLog) ImprovedTuples() map[lineage.Var]float64 {
@@ -174,10 +228,12 @@ func (e *Engine) Audit() *AuditLog { return e.audit }
 // SetMetrics attaches a metrics registry; nil detaches. While
 // attached, every evaluation, degradation, proposal, apply and audit
 // event updates the registry's counters and histograms (see DESIGN.md
-// §8 for the metric names).
+// §8 for the metric names), and the catalog's transaction/snapshot
+// counters publish to the same registry.
 func (e *Engine) SetMetrics(m *obs.Metrics) {
 	e.metrics = m
 	e.plans.SetMetrics(m)
+	e.catalog.SetMetrics(m)
 }
 
 // Metrics returns the attached registry (nil when none).

@@ -139,6 +139,11 @@ type Response struct {
 	// counters). Always populated by EvaluateContext; when a tracer is
 	// attached to the engine the same tree is also retained there.
 	Timings *obs.Span
+	// Version is the committed catalog version the whole evaluation read:
+	// query execution, confidence computation and policy filtering all
+	// resolved against this one snapshot, so every released row is
+	// attributable to exactly this version.
+	Version int64
 }
 
 // Need returns how many additional rows must clear the policy to honor
@@ -187,9 +192,16 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	defer e.metrics.Gauge("engine.inflight").Add(-1)
 	root := e.startSpan("request")
 
+	// One snapshot covers the whole flow: query evaluation, confidence
+	// computation and the improvement instance all read the same
+	// committed version, whatever writers commit meanwhile.
+	snap := e.catalog.Snapshot()
+	defer snap.Release()
+	root.SetAttr("snapshot_version", snap.Version())
+
 	evalSpan := root.StartChild("eval")
 	pcHits0, pcMisses0 := e.plans.Stats()
-	rows, schema, info, err := e.plans.QueryDetailed(e.catalog, req.Query)
+	rows, schema, info, err := e.plans.QueryDetailedSnap(snap, req.Query)
 	pcHits1, pcMisses1 := e.plans.Stats()
 	evalSpan.SetAttr("rows", int64(len(rows)))
 	evalSpan.SetAttr("plan_cache_hits", pcHits1-pcHits0)
@@ -211,7 +223,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 		root.End()
 		return nil, err
 	}
-	resp := &Response{Schema: schema, Timings: root}
+	resp := &Response{Schema: schema, Timings: root, Version: snap.Version()}
 
 	// Confidence computation is its own measured phase: lineage
 	// probability is #P-hard in general and routinely dominates query
@@ -223,7 +235,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	cc0 := e.confs.Stats()
 	all := make([]Row, len(rows))
 	for i, t := range rows {
-		all[i] = Row{Tuple: t, Confidence: e.confs.Confidence(t)}
+		all[i] = Row{Tuple: t, Confidence: e.confs.ConfidenceAt(t, snap)}
 	}
 	cc := e.confs.Stats().Sub(cc0)
 	linSpan.SetAttr("rows", int64(len(all)))
@@ -261,7 +273,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 		if need := resp.Need(req); need > 0 {
 			stratSpan := root.StartChild("strategy")
 			stratSpan.SetAttr("need", int64(need))
-			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need, req.Workers)
+			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need, req.Workers, snap)
 			switch {
 			case err == nil || errors.Is(err, strategy.ErrInfeasible):
 				// prop is nil on infeasibility: nothing to offer.
@@ -287,6 +299,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 		Kind: AuditEvaluate, User: req.User, Purpose: req.Purpose,
 		Query: req.Query, Beta: resp.Threshold,
 		Released: len(resp.Released), Withheld: len(resp.Withheld),
+		ReadVersion: snap.Version(),
 	})
 	if resp.Degraded != nil {
 		e.recordAudit(AuditEvent{

@@ -7,8 +7,10 @@ import (
 
 	"pcqe/internal/conf"
 	"pcqe/internal/cost"
+	"pcqe/internal/fault"
 	"pcqe/internal/lineage"
 	"pcqe/internal/obs"
+	"pcqe/internal/relation"
 	"pcqe/internal/strategy"
 )
 
@@ -28,10 +30,18 @@ type Proposal struct {
 	// user and purpose identify the request that triggered the
 	// proposal, for the audit journal.
 	user, purpose string
+	// readVersion is the committed catalog version the proposal's
+	// instance was built from; Apply records it alongside the version
+	// its transaction commits, bracketing the plan in the audit journal.
+	readVersion int64
 }
 
 // Cost is the total improvement cost of the plan.
 func (p *Proposal) Cost() float64 { return p.plan.Cost }
+
+// ReadVersion is the committed catalog version the proposal was built
+// from (0 for proposals built before version tracking).
+func (p *Proposal) ReadVersion() int64 { return p.readVersion }
 
 // Solver names the algorithm that produced the plan.
 func (p *Proposal) Solver() string { return p.solver }
@@ -92,7 +102,7 @@ func (p *Proposal) Increments() []Increment {
 // *strategy.BudgetExceededError so the caller can degrade instead of
 // fail. workers sizes a parallel-capable solver's group worker pool
 // (Request.Workers: 0 keeps the solver's configuration).
-func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int) (*Proposal, error) {
+func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int, snap *relation.Snapshot) (*Proposal, error) {
 	in := &strategy.Instance{
 		Beta: resp.Threshold + betaMargin,
 		// The paper's evaluation grid uses δ=0.1; keep it as the
@@ -114,7 +124,10 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int)
 			if _, ok := seen[v]; ok {
 				continue
 			}
-			base, ok := e.catalog.BaseTupleByVar(v)
+			// Resolve at the evaluation's snapshot: the instance's starting
+			// confidences must match the ones the withheld rows were
+			// filtered under, not whatever a concurrent commit left behind.
+			base, ok := snap.BaseTupleByVar(v)
 			if !ok {
 				return nil, fmt.Errorf("core: lineage references unknown base tuple %d", int(v))
 			}
@@ -158,7 +171,7 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int)
 	}
 	prop := &Proposal{
 		instance: in, plan: plan, solver: e.solver.Name(), skipped: skipped,
-		partial: plan.Partial,
+		partial: plan.Partial, readVersion: snap.Version(),
 	}
 	return prop, err
 }
@@ -170,26 +183,59 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int)
 const betaMargin = 1e-9
 
 // Apply performs the data-quality improvement step: it writes the
-// proposal's new confidences into the catalog. Re-evaluating the request
+// proposal's new confidences into the catalog as ONE transaction —
+// every increment commits atomically or none does. A fault (injected
+// at the "core.apply.increment" probe or genuine) mid-apply rolls the
+// transaction back, journals an AuditRollback event and leaves every
+// confidence bit-identical to the pre-transaction state. The audit
+// event of a successful apply records the proposal's read version and
+// the transaction's commit version. Re-evaluating the request
 // afterwards releases the additional rows.
-func (e *Engine) Apply(p *Proposal) error {
+//
+// Increments merge by maximum: a tuple whose confidence a concurrent
+// apply already raised to (or past) the target is skipped rather than
+// lowered, so overlapping plans compose instead of fighting.
+func (e *Engine) Apply(p *Proposal) (err error) {
 	if p == nil {
 		return fmt.Errorf("core: nil proposal")
 	}
 	if err := p.instance.Verify(p.plan); err != nil {
 		return fmt.Errorf("core: refusing to apply inconsistent proposal: %w", err)
 	}
+	x := e.catalog.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			x.Rollback()
+			err = fmt.Errorf("core: apply fault: %v", r)
+			e.recordApplyRollback(p, err)
+		}
+	}()
 	for i, b := range p.instance.Base {
 		np := p.plan.NewP[i]
-		if conf.GT(np, b.P) {
-			if err := e.catalog.SetConfidence(b.Var, np); err != nil {
-				return fmt.Errorf("core: applying increment to tuple %d: %w", int(b.Var), err)
-			}
+		if !conf.GT(np, b.P) {
+			continue
 		}
+		fault.Probe("core.apply.increment")
+		if cur, ok := x.ConfidenceOf(b.Var); ok && conf.GE(cur, np) {
+			continue // already at or past the target: max-merge
+		}
+		if err := x.SetConfidence(b.Var, np); err != nil {
+			x.Rollback()
+			err = fmt.Errorf("core: applying increment to tuple %d: %w", int(b.Var), err)
+			e.recordApplyRollback(p, err)
+			return err
+		}
+	}
+	commitVersion, err := x.Commit()
+	if err != nil {
+		err = fmt.Errorf("core: committing improvement plan: %w", err)
+		e.recordApplyRollback(p, err)
+		return err
 	}
 	e.recordAudit(AuditEvent{
 		Kind: AuditApply, User: p.user, Purpose: p.purpose,
 		Cost: p.plan.Cost, Increments: p.Increments(),
+		ReadVersion: p.readVersion, CommitVersion: commitVersion,
 	})
 	if e.metrics != nil {
 		e.metrics.Counter("engine.applied").Inc()
@@ -198,6 +244,16 @@ func (e *Engine) Apply(p *Proposal) error {
 		e.metrics.Histogram("engine.apply.cost", obs.CostBuckets).Observe(p.plan.Cost)
 	}
 	return nil
+}
+
+// recordApplyRollback journals a failed, rolled-back apply.
+func (e *Engine) recordApplyRollback(p *Proposal, cause error) {
+	e.recordAudit(AuditEvent{
+		Kind: AuditRollback, User: p.user, Purpose: p.purpose,
+		Cost: p.plan.Cost, ReadVersion: p.readVersion,
+		Detail: cause.Error(),
+	})
+	e.metrics.Counter("engine.apply.rollbacks").Inc()
 }
 
 // EvaluateMulti implements the paper's multi-query extension
@@ -231,7 +287,10 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 
 	// Build a combined instance: every query contributes its withheld
 	// monotone rows, and carries its own need; the combined need is the
-	// sum, with the constraint expressed by solving sequentially.
+	// sum, with the constraint expressed by solving sequentially. One
+	// snapshot pins the starting confidences of every block.
+	snap := e.catalog.Snapshot()
+	defer snap.Release()
 	combined := &strategy.Instance{Delta: 0.1}
 	seen := map[lineage.Var]int{}
 	var maxBeta float64
@@ -258,7 +317,7 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 				if _, ok := seen[v]; ok {
 					continue
 				}
-				base, ok := e.catalog.BaseTupleByVar(v)
+				base, ok := snap.BaseTupleByVar(v)
 				if !ok {
 					return nil, nil, fmt.Errorf("core: lineage references unknown base tuple %d", int(v))
 				}
@@ -347,7 +406,7 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 	shared.End()
 	prop := &Proposal{
 		instance: combined, plan: plan, solver: e.solver.Name(),
-		partial: plan.Partial,
+		partial: plan.Partial, readVersion: snap.Version(),
 	}
 	for i := range resps {
 		if resps[i].PolicyApplied && resps[i].Need(reqs[i]) > 0 {

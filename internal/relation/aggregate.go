@@ -271,3 +271,6 @@ func (a *Aggregate) Close() error {
 	a.buffer = nil
 	return nil
 }
+
+// PinVersion implements VersionPinner.
+func (a *Aggregate) PinVersion(v int64) { PinOperator(a.Input, v) }

@@ -4,44 +4,83 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
-	"pcqe/internal/conf"
 	"pcqe/internal/lineage"
+	"pcqe/internal/obs"
 )
 
 // Catalog owns the tables of a database, assigns catalog-wide lineage
 // variables to base tuples, and answers confidence lookups for lineage
 // probability evaluation.
+//
+// Storage is multi-versioned (see DESIGN.md §11): every mutation goes
+// through a single-writer Txn (Begin/Commit/Rollback; the Insert/
+// Delete/Update/SetConfidence convenience methods auto-commit one) and
+// publishes a new committed version atomically. Readers take Snapshot()
+// views pinned to a committed version and are never blocked by, nor
+// observe, in-flight writes.
 type Catalog struct {
+	// mu guards the table registry, the variable registry, and the
+	// registered confidence caches. Writers additionally hold wmu; plain
+	// readers only ever take mu briefly.
+	mu     sync.RWMutex
 	tables map[string]*Table
-	byVar  map[lineage.Var]*BaseTuple
-	next   lineage.Var
+	byVar  map[lineage.Var]*versionSlot
+	caches []*ConfidenceCache
 
-	// version counts DDL and row mutations (CREATE/DROP TABLE, CREATE
-	// INDEX, INSERT, DELETE, UPDATE). Cached query plans are keyed on it:
-	// any change that could alter a plan's shape or a materialized
-	// subquery result bumps it.
-	version int64
-	// confEpoch counts confidence mutations only (SetConfidence, UPDATE
-	// of _confidence, DELETE's confidence zeroing). Cached result
-	// confidences are keyed on it.
-	confEpoch int64
+	// next is the lineage-variable allocator; only writers (under wmu)
+	// touch it.
+	next lineage.Var
+
+	// wmu serializes write transactions (single-writer MVCC).
+	wmu sync.Mutex
+	// verMu makes the (commitSeq, planEpoch, confEpoch) triple publish
+	// and snapshot atomically.
+	verMu sync.Mutex
+
+	// commitSeq is the committed version: the total commit order. Every
+	// committing transaction and every DDL step advances it by exactly
+	// one; snapshots pin it; the audit journal records it.
+	commitSeq atomic.Int64
+	// planEpoch advances on commits that can change a cached plan's
+	// shape or a materialized subquery result (DDL, insert, delete,
+	// value update) — confidence-only commits leave it alone, so plan
+	// caches keep their hit rate across improvement-plan application.
+	planEpoch atomic.Int64
+	// confEpoch advances on commits that change any base-tuple
+	// confidence; cached derived confidences are keyed on it.
+	confEpoch atomic.Int64
+
+	snapCount atomic.Int64
+	metrics   atomic.Pointer[obs.Metrics]
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{
 		tables: map[string]*Table{},
-		byVar:  map[lineage.Var]*BaseTuple{},
+		byVar:  map[lineage.Var]*versionSlot{},
 		next:   1,
 	}
 }
 
+// SetMetrics attaches a metrics registry to the catalog's transaction
+// and snapshot counters; nil detaches. Safe to call concurrently with
+// readers and writers.
+func (c *Catalog) SetMetrics(m *obs.Metrics) { c.metrics.Store(m) }
+
 // CreateTable registers a new empty table. Table names are
-// case-insensitive.
+// case-insensitive. Creation is its own committed version.
 func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	key := strings.ToLower(name)
-	if _, exists := c.tables[key]; exists {
+	c.mu.RLock()
+	_, exists := c.tables[key]
+	c.mu.RUnlock()
+	if exists {
 		return nil, fmt.Errorf("relation: table %q already exists", name)
 	}
 	qualified := make([]Column, len(schema.Columns))
@@ -50,31 +89,46 @@ func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
 		qualified[i] = col
 	}
 	t := &Table{Name: name, schema: &Schema{Columns: qualified}, catalog: c}
+	c.mu.Lock()
 	c.tables[key] = t
-	c.version++
+	c.mu.Unlock()
+	c.commitDDL()
 	return t, nil
 }
 
-// Version returns the catalog's data/DDL version counter. It increases
-// monotonically on every schema or row mutation; equal versions
-// guarantee that a previously planned query is still valid (same
-// tables, same indexes, same materialized-subquery inputs).
-func (c *Catalog) Version() int64 { return c.version }
+// commitDDL publishes a schema change as one committed version (called
+// under wmu).
+func (c *Catalog) commitDDL() int64 {
+	c.verMu.Lock()
+	c.planEpoch.Add(1)
+	v := c.commitSeq.Add(1)
+	c.verMu.Unlock()
+	return v
+}
+
+// Version returns the committed version: a counter that advances by
+// one on every committed transaction (including confidence-only ones)
+// and DDL step. Snapshots pin it; audit events record it; equal
+// versions guarantee identical visible database state.
+func (c *Catalog) Version() int64 { return c.commitSeq.Load() }
+
+// PlanEpoch returns the plan-invalidation epoch: it advances only on
+// commits that can change a plan's shape or a materialized-subquery
+// result (DDL and row mutations, not confidence-only changes). Cached
+// query plans are keyed on it.
+func (c *Catalog) PlanEpoch() int64 { return c.planEpoch.Load() }
 
 // ConfEpoch returns the confidence epoch: a counter bumped on every
-// base-tuple confidence change. Cached derived-tuple confidences are
-// valid only while the epoch they were computed under is current.
-func (c *Catalog) ConfEpoch() int64 { return c.confEpoch }
-
-// bumpVersion records a data or DDL mutation.
-func (c *Catalog) bumpVersion() { c.version++ }
-
-// bumpConfEpoch records a confidence mutation.
-func (c *Catalog) bumpConfEpoch() { c.confEpoch++ }
+// commit that changes base-tuple confidence. Cached derived-tuple
+// confidences are valid only while the epoch they were computed under
+// is current.
+func (c *Catalog) ConfEpoch() int64 { return c.confEpoch.Load() }
 
 // Table looks a table up by name (case-insensitive).
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("relation: unknown table %q", name)
 	}
@@ -83,10 +137,12 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // TableNames returns the sorted names of all tables.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.tables))
 	for _, t := range c.tables {
 		names = append(names, t.Name)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -94,37 +150,61 @@ func (c *Catalog) TableNames() []string {
 // DropTable removes a table. Its rows remain resolvable by variable so
 // that lineage of previously computed results stays meaningful.
 func (c *Catalog) DropTable(name string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := c.tables[key]; !ok {
+	c.mu.Lock()
+	_, ok := c.tables[key]
+	if ok {
+		delete(c.tables, key)
+	}
+	c.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("relation: unknown table %q", name)
 	}
-	delete(c.tables, key)
-	c.version++
+	c.commitDDL()
 	return nil
 }
 
+// nextVar allocates a lineage variable (writers only, under wmu).
 func (c *Catalog) nextVar() lineage.Var {
 	v := c.next
 	c.next++
 	return v
 }
 
-func (c *Catalog) register(row *BaseTuple) { c.byVar[row.Var] = row }
-
-// BaseTupleByVar resolves a lineage variable to its stored row.
+// BaseTupleByVar resolves a lineage variable to its row version at the
+// current committed version (possibly a zero-confidence tombstone for
+// deleted rows).
 func (c *Catalog) BaseTupleByVar(v lineage.Var) (*BaseTuple, bool) {
-	row, ok := c.byVar[v]
-	return row, ok
+	c.mu.RLock()
+	slot := c.byVar[v]
+	c.mu.RUnlock()
+	if slot == nil {
+		return nil, false
+	}
+	b := slot.at(c.commitSeq.Load())
+	if b == nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // ProbOf implements lineage.Assignment: the probability of a lineage
-// variable is the current confidence of its base tuple. Unknown variables
-// have probability 0.
+// variable is the current confidence of its base tuple. Unknown
+// variables have probability 0.
 func (c *Catalog) ProbOf(v lineage.Var) float64 {
-	if row, ok := c.byVar[v]; ok {
-		return row.Confidence
+	c.mu.RLock()
+	slot := c.byVar[v]
+	c.mu.RUnlock()
+	if slot == nil {
+		return 0
 	}
-	return 0
+	b := slot.at(c.commitSeq.Load())
+	if b == nil {
+		return 0
+	}
+	return b.Confidence
 }
 
 // Confidence computes the exact confidence of a derived tuple from its
@@ -133,23 +213,38 @@ func (c *Catalog) Confidence(t *Tuple) float64 {
 	return lineage.Prob(t.Lineage, c)
 }
 
-// SetConfidence updates a base tuple's confidence, clamped to
-// [current, MaxConf] growth is the normal PCQE path; lowering is allowed
-// for administrative correction but never below 0.
+// SetConfidence updates a base tuple's confidence in its own committed
+// transaction, clamped to [0, MaxConf]: growth is the normal PCQE
+// path; lowering is allowed for administrative correction but never
+// below 0.
 func (c *Catalog) SetConfidence(v lineage.Var, p float64) error {
-	row, ok := c.byVar[v]
-	if !ok {
-		return fmt.Errorf("relation: unknown lineage variable %d", int(v))
+	x := c.Begin()
+	if err := x.SetConfidence(v, p); err != nil {
+		x.Rollback()
+		return err
 	}
-	if !conf.Valid(p) {
-		return fmt.Errorf("relation: confidence %g outside [0,1]", p)
+	_, err := x.Commit()
+	return err
+}
+
+// registerCache subscribes a confidence cache to incremental
+// advancement at commit.
+func (c *Catalog) registerCache(cc *ConfidenceCache) {
+	c.mu.Lock()
+	c.caches = append(c.caches, cc)
+	c.mu.Unlock()
+}
+
+// advanceCaches moves every registered confidence cache from the
+// previous to the new confidence epoch (called under wmu, right after
+// publication, so the caches observe exactly the committed state).
+func (c *Catalog) advanceCaches(prevEpoch, newEpoch int64, changed []lineage.Var) {
+	c.mu.RLock()
+	caches := c.caches
+	c.mu.RUnlock()
+	for _, cc := range caches {
+		cc.advance(prevEpoch, newEpoch, changed)
 	}
-	if p > row.MaxConf {
-		return fmt.Errorf("relation: confidence %g exceeds tuple maximum %g", p, row.MaxConf)
-	}
-	row.Confidence = p
-	c.confEpoch++
-	return nil
 }
 
 var _ lineage.Assignment = (*Catalog)(nil)

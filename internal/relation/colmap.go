@@ -40,3 +40,6 @@ func (m *ColumnMap) Next() (*Tuple, error) {
 
 // Close implements Operator.
 func (m *ColumnMap) Close() error { return m.Input.Close() }
+
+// PinVersion implements VersionPinner.
+func (c *ColumnMap) PinVersion(v int64) { PinOperator(c.Input, v) }

@@ -65,16 +65,31 @@ type ConfCacheStats struct {
 	Hits, Misses int64
 	// Rows counts confidence requests per class (hits and misses).
 	Rows [numLineageClasses]int64
-	// Evals counts cache-miss evaluations per class.
+	// Evals counts evaluations per class: cache misses plus incremental
+	// re-evaluations at commit.
 	Evals [numLineageClasses]int64
 	// Pivots totals the compiled Machine's Shannon pivot leaf
 	// evaluations per class (always 0 for read-once).
 	Pivots [numLineageClasses]int64
+	// IncrementalReevals counts entries recomputed at a commit because
+	// their lineage references a touched variable; IncrementalRestamps
+	// counts entries carried to the new epoch untouched (their formulas
+	// reference none of the committed variables); IncrementalDrops
+	// counts stale entries (more than one epoch behind) discarded.
+	IncrementalReevals  int64
+	IncrementalRestamps int64
+	IncrementalDrops    int64
 }
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s ConfCacheStats) Sub(prev ConfCacheStats) ConfCacheStats {
-	d := ConfCacheStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses}
+	d := ConfCacheStats{
+		Hits:                s.Hits - prev.Hits,
+		Misses:              s.Misses - prev.Misses,
+		IncrementalReevals:  s.IncrementalReevals - prev.IncrementalReevals,
+		IncrementalRestamps: s.IncrementalRestamps - prev.IncrementalRestamps,
+		IncrementalDrops:    s.IncrementalDrops - prev.IncrementalDrops,
+	}
 	for i := 0; i < numLineageClasses; i++ {
 		d.Rows[i] = s.Rows[i] - prev.Rows[i]
 		d.Evals[i] = s.Evals[i] - prev.Evals[i]
@@ -103,6 +118,11 @@ type confEntry struct {
 	epoch int64
 	p     float64
 	class LineageClass
+	// expr and vars (the formula and its sorted, deduplicated variable
+	// set) drive incremental re-evaluation at commit: a commit touching
+	// none of vars carries the entry forward without recomputing.
+	expr *lineage.Expr
+	vars []lineage.Var
 }
 
 // DefaultConfidenceCacheSize bounds the cache when NewConfidenceCache
@@ -110,12 +130,15 @@ type confEntry struct {
 const DefaultConfidenceCacheSize = 1 << 16
 
 // NewConfidenceCache builds a cache over the catalog's current
-// confidences.
+// confidences and registers it for incremental advancement at every
+// confidence-changing commit.
 func NewConfidenceCache(cat *Catalog, capacity int) *ConfidenceCache {
 	if capacity <= 0 {
 		capacity = DefaultConfidenceCacheSize
 	}
-	return &ConfidenceCache{cat: cat, cap: capacity, entries: make(map[string]confEntry)}
+	cc := &ConfidenceCache{cat: cat, cap: capacity, entries: make(map[string]confEntry)}
+	cat.registerCache(cc)
+	return cc
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -133,12 +156,29 @@ func (cc *ConfidenceCache) Len() int {
 	return len(cc.entries)
 }
 
-// Confidence returns the tuple's exact confidence, serving it from the
-// cache when the formula was already evaluated under the current
-// confidence epoch.
+// Confidence returns the tuple's exact confidence under a snapshot it
+// takes itself, so the epoch the entry is keyed on and the confidences
+// the evaluation reads are guaranteed to belong to the same committed
+// version (looking the epoch up separately from the evaluation could
+// stamp a value computed at epoch N with epoch N+1).
 func (cc *ConfidenceCache) Confidence(t *Tuple) float64 {
+	snap := cc.cat.Snapshot()
+	defer snap.Release()
+	return cc.ConfidenceAt(t, snap)
+}
+
+// ConfidenceAt returns the tuple's exact confidence at the snapshot's
+// pinned version, serving it from the cache when the formula was
+// already evaluated under the snapshot's confidence epoch. Historical
+// snapshots (SnapshotAt behind the latest commit) bypass the cache:
+// entries are keyed on the current epoch only.
+func (cc *ConfidenceCache) ConfidenceAt(t *Tuple, snap *Snapshot) float64 {
+	if snap.Historical() {
+		_, p, _ := evalClassified(t.Lineage, snap)
+		return p
+	}
 	key := t.Lineage.String()
-	epoch := cc.cat.ConfEpoch()
+	epoch := snap.ConfEpoch()
 	cc.mu.Lock()
 	if e, ok := cc.entries[key]; ok && e.epoch == epoch {
 		cc.stats.Hits++
@@ -148,7 +188,7 @@ func (cc *ConfidenceCache) Confidence(t *Tuple) float64 {
 	}
 	cc.mu.Unlock()
 
-	class, p, pivots := evalClassified(t.Lineage, cc.cat)
+	class, p, pivots := evalClassified(t.Lineage, snap)
 
 	cc.mu.Lock()
 	cc.stats.Misses++
@@ -162,9 +202,59 @@ func (cc *ConfidenceCache) Confidence(t *Tuple) float64 {
 			break
 		}
 	}
-	cc.entries[key] = confEntry{epoch: epoch, p: p, class: class}
+	cc.entries[key] = confEntry{epoch: epoch, p: p, class: class, expr: t.Lineage, vars: t.Lineage.Vars()}
 	cc.mu.Unlock()
 	return p
+}
+
+// advance moves the cache from confidence epoch prev to next after a
+// commit that changed the confidences of the changed variables. Called
+// by the catalog under the writer lock, immediately after publication,
+// so the base confidences it reads are exactly the committed state.
+//
+// Instead of letting a commit invalidate everything, each entry is
+// triaged: entries whose formula reads none of the changed variables
+// keep their value and are re-stamped to the new epoch (the dominant
+// case when a commit touches k of N base tuples, k ≪ N); entries whose
+// formula intersects the changed set are recomputed; entries already
+// behind by more than one epoch are dropped (their carried value may
+// reflect changes the triage cannot see).
+func (cc *ConfidenceCache) advance(prev, next int64, changed []lineage.Var) {
+	changedSet := make(map[lineage.Var]struct{}, len(changed))
+	for _, v := range changed {
+		changedSet[v] = struct{}{}
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for k, e := range cc.entries {
+		if e.epoch >= next {
+			continue
+		}
+		if e.epoch != prev || e.expr == nil {
+			delete(cc.entries, k)
+			cc.stats.IncrementalDrops++
+			continue
+		}
+		touched := false
+		for _, v := range e.vars {
+			if _, ok := changedSet[v]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			e.epoch = next
+			cc.entries[k] = e
+			cc.stats.IncrementalRestamps++
+			continue
+		}
+		class, p, pivots := evalClassified(e.expr, cc.cat)
+		e.epoch, e.p, e.class = next, p, class
+		cc.entries[k] = e
+		cc.stats.IncrementalReevals++
+		cc.stats.Evals[class]++
+		cc.stats.Pivots[class] += pivots
+	}
 }
 
 // evalClassified computes a formula's probability on the path its class

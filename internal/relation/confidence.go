@@ -24,7 +24,11 @@ type AttachConfidence struct {
 	Input  Operator
 	Assign lineage.Assignment
 
-	out *Schema
+	// pin is the committed version to resolve confidences at when Assign
+	// is a live *Catalog; set through PinVersion (relation.RunAt).
+	pin    int64
+	assign lineage.Assignment
+	out    *Schema
 }
 
 // Schema implements Operator.
@@ -38,7 +42,24 @@ func (a *AttachConfidence) Schema() *Schema {
 }
 
 // Open implements Operator.
-func (a *AttachConfidence) Open() error { return a.Input.Open() }
+func (a *AttachConfidence) Open() error {
+	a.assign = a.Assign
+	if a.pin > 0 {
+		// When pinned and reading live catalog confidences, resolve them
+		// at the pinned version instead, so the attached column agrees
+		// with the rows the pinned scans below produced.
+		if cat, ok := a.Assign.(*Catalog); ok {
+			a.assign = cat.AssignmentAt(a.pin)
+		}
+	}
+	return a.Input.Open()
+}
+
+// PinVersion implements VersionPinner.
+func (a *AttachConfidence) PinVersion(v int64) {
+	a.pin = v
+	PinOperator(a.Input, v)
+}
 
 // Next implements Operator.
 func (a *AttachConfidence) Next() (*Tuple, error) {
@@ -50,7 +71,7 @@ func (a *AttachConfidence) Next() (*Tuple, error) {
 	vals = append(vals, t.Values...)
 	// Shannon expansion sums two products of [0,1] factors, which can
 	// overshoot 1 by an ulp; the column is user-visible, so repair it.
-	vals = append(vals, Float(conf.Clamp(lineage.Prob(t.Lineage, a.Assign))))
+	vals = append(vals, Float(conf.Clamp(lineage.Prob(t.Lineage, a.assign))))
 	return &Tuple{Values: vals, Lineage: t.Lineage}, nil
 }
 

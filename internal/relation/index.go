@@ -2,76 +2,150 @@ package relation
 
 import (
 	"fmt"
+	"sync"
 
 	"pcqe/internal/lineage"
 )
 
 // Index is a hash index over one column of a table, mapping value keys
-// to the rows holding them. Indexes are maintained on Insert and rebuilt
-// after Delete/Update (both mutate rows in place).
+// to the row slots holding them. Buckets are chain-aware: a slot is
+// a member of the bucket of every key any of its versions holds, so
+// readers pinned at older committed versions still find their rows;
+// lookups filter by the resolved version's actual column value, which
+// also screens out tombstoned and superseded-key slots.
 type Index struct {
-	table   *Table
-	column  int
-	buckets map[string][]*BaseTuple
+	table  *Table
+	column int
+
+	mu      sync.RWMutex
+	buckets map[string][]*versionSlot
 }
 
 // Column returns the indexed column's position in the table schema.
 func (ix *Index) Column() int { return ix.column }
 
-// Len returns the number of distinct keys.
-func (ix *Index) Len() int { return len(ix.buckets) }
+// Len returns the number of distinct keys bucketed (including keys
+// whose rows have since been deleted or re-keyed; rebuilds prune them).
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.buckets)
+}
 
-// Lookup returns the rows whose indexed column equals v.
+// Lookup returns the rows whose indexed column equals v at the latest
+// committed version. The returned slice is freshly built.
 func (ix *Index) Lookup(v Value) []*BaseTuple {
-	return ix.buckets[v.Key()]
+	return ix.lookupAt(v, ix.table.catalog.commitSeq.Load())
 }
 
-func (ix *Index) rebuild() {
-	ix.buckets = make(map[string][]*BaseTuple, len(ix.table.rows))
-	for _, row := range ix.table.rows {
-		ix.add(row)
+func (ix *Index) lookupAt(v Value, seq int64) []*BaseTuple {
+	k := v.Key()
+	ix.mu.RLock()
+	slots := ix.buckets[k]
+	ix.mu.RUnlock()
+	var out []*BaseTuple
+	for _, slot := range slots {
+		b := slot.visibleAt(seq)
+		if b != nil && b.Values[ix.column].Key() == k {
+			out = append(out, b)
+		}
 	}
+	return out
 }
 
-func (ix *Index) add(row *BaseTuple) {
-	k := row.Values[ix.column].Key()
-	ix.buckets[k] = append(ix.buckets[k], row)
+// rebuild reconstructs the buckets chain-aware: every version of every
+// slot contributes its key (deduplicated per slot), so any pinned
+// reader resolves its own version through some bucket.
+func (ix *Index) rebuild() {
+	slots := ix.table.snapshotSlots()
+	buckets := make(map[string][]*versionSlot, len(slots))
+	var seen []string // distinct keys within one chain; chains are short
+	for _, slot := range slots {
+		seen = seen[:0]
+		for b := slot.head.Load(); b != nil; b = b.prev {
+			if b.tombstone {
+				continue
+			}
+			k := b.Values[ix.column].Key()
+			dup := false
+			for _, s := range seen {
+				if s == k {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, k)
+			buckets[k] = append(buckets[k], slot)
+		}
+	}
+	ix.mu.Lock()
+	ix.buckets = buckets
+	ix.mu.Unlock()
+}
+
+// addSlot registers a freshly inserted slot under its key.
+func (ix *Index) addSlot(slot *versionSlot, key string) {
+	ix.mu.Lock()
+	ix.buckets[key] = append(ix.buckets[key], slot)
+	ix.mu.Unlock()
 }
 
 // CreateIndex builds (or returns the existing) hash index on the named
-// column.
+// column. Creation is its own committed version (it can change the
+// chosen plan for cached queries).
 func (t *Table) CreateIndex(column string) (*Index, error) {
 	idx, err := t.schema.Resolve("", column)
 	if err != nil {
 		return nil, err
 	}
-	if existing, ok := t.indexes[idx]; ok {
+	c := t.catalog
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	t.mu.RLock()
+	existing, ok := t.indexes[idx]
+	t.mu.RUnlock()
+	if ok {
 		return existing, nil
 	}
 	ix := &Index{table: t, column: idx}
 	ix.rebuild()
+	t.mu.Lock()
 	if t.indexes == nil {
 		t.indexes = map[int]*Index{}
 	}
 	t.indexes[idx] = ix
-	// A new index can change the chosen plan for cached queries.
-	t.catalog.bumpVersion()
+	t.mu.Unlock()
+	c.commitDDL()
 	return ix, nil
 }
 
 // IndexOn returns the index on the given column position, if any.
 func (t *Table) IndexOn(column int) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ix, ok := t.indexes[column]
 	return ix, ok
 }
 
+// indexCount returns how many indexes the table has.
+func (t *Table) indexCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.indexes)
+}
+
 // IndexScan produces the rows whose indexed column equals Key, as an
-// operator interchangeable with Scan+Select on that equality.
+// operator interchangeable with Scan+Select on that equality. Unpinned,
+// it reads the latest committed version at Open; PinVersion pins it.
 type IndexScan struct {
 	Table *Table
 	Idx   *Index
 	Key   Value
 
+	pin  int64
 	rows []*BaseTuple
 	pos  int
 }
@@ -79,12 +153,19 @@ type IndexScan struct {
 // Schema implements Operator.
 func (s *IndexScan) Schema() *Schema { return s.Table.Schema() }
 
+// PinVersion implements VersionPinner.
+func (s *IndexScan) PinVersion(v int64) { s.pin = v }
+
 // Open implements Operator.
 func (s *IndexScan) Open() error {
 	if s.Idx == nil {
 		return fmt.Errorf("relation: IndexScan without an index")
 	}
-	s.rows = s.Idx.Lookup(s.Key)
+	at := s.pin
+	if at <= 0 {
+		at = s.Table.catalog.commitSeq.Load()
+	}
+	s.rows = s.Idx.lookupAt(s.Key, at)
 	s.pos = 0
 	return nil
 }
@@ -116,7 +197,7 @@ func OptimizeIndexedSelect(sel *Select) Operator {
 		input = rn.Input
 	}
 	scan, ok := input.(*scanOp)
-	if !ok || len(scan.table.indexes) == 0 {
+	if !ok || scan.table.indexCount() == 0 {
 		return sel
 	}
 	conjuncts := splitConjuncts(sel.Pred)

@@ -156,3 +156,15 @@ func combine(l, r *Tuple) *Tuple {
 	vals = append(vals, r.Values...)
 	return &Tuple{Values: vals, Lineage: lineage.And(l.Lineage, r.Lineage)}
 }
+
+// PinVersion implements VersionPinner.
+func (j *NestedLoopJoin) PinVersion(v int64) {
+	PinOperator(j.Left, v)
+	PinOperator(j.Right, v)
+}
+
+// PinVersion implements VersionPinner.
+func (j *HashJoin) PinVersion(v int64) {
+	PinOperator(j.Left, v)
+	PinOperator(j.Right, v)
+}

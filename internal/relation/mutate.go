@@ -1,51 +1,27 @@
 package relation
 
 import (
-	"fmt"
-
 	"pcqe/internal/lineage"
 )
 
 // Delete removes the rows matching pred (a boolean expression over the
-// table's schema) and returns how many were removed. Deleted rows stay
-// resolvable through the catalog by their lineage variable — previously
-// computed result lineages remain meaningful — but their confidence is
-// zeroed, reflecting that the fact has been withdrawn.
+// table's schema) in its own committed transaction and returns how many
+// were removed. Deleted rows stay resolvable through the catalog by
+// their lineage variable — previously computed result lineages remain
+// meaningful — but resolve to confidence 0, reflecting that the fact
+// has been withdrawn. On any predicate error the transaction rolls back
+// and nothing changes.
 func (t *Table) Delete(pred Expr) (int, error) {
-	// A fresh slice keeps previously returned Rows() views intact.
-	kept := make([]*BaseTuple, 0, len(t.rows))
-	removed := 0
-	for _, row := range t.rows {
-		match := true
-		if pred != nil {
-			tuple := rowTupleWithConfidence(row)
-			ok, err := EvalBool(pred, tuple)
-			if err != nil {
-				// Restore invariant: rows currently spliced stay; rows
-				// not yet visited stay too. Rebuild from scratch.
-				return removed, fmt.Errorf("relation: DELETE predicate: %w", err)
-			}
-			match = ok
-		}
-		if match {
-			row.Confidence = 0
-			row.MaxConf = 0
-			removed++
-			continue
-		}
-		kept = append(kept, row)
+	x := t.catalog.Begin()
+	n, err := x.Delete(t, pred)
+	if err != nil {
+		x.Rollback()
+		return 0, err
 	}
-	t.rows = kept
-	for _, ix := range t.indexes {
-		ix.rebuild()
+	if _, err := x.Commit(); err != nil {
+		return 0, err
 	}
-	if removed > 0 {
-		t.mutated()
-		// Deletion zeroes the removed rows' confidences, so derived
-		// confidences computed from lineages that mention them change.
-		t.catalog.bumpConfEpoch()
-	}
-	return removed, nil
+	return n, nil
 }
 
 // rowTupleWithConfidence builds the predicate-evaluation image of a
@@ -72,72 +48,21 @@ type UpdateSpec struct {
 	Value Expr
 }
 
-// Update applies the assignments to every row matching pred and returns
-// the number of rows changed. Type checking matches Insert; confidence
-// assignments must produce a numeric value in [0, MaxConf].
+// Update applies the assignments to every row matching pred in its own
+// committed transaction and returns the number of rows changed. Type
+// checking matches Insert; confidence assignments must produce a
+// numeric value in [0, MaxConf]. On any error the transaction rolls
+// back and nothing changes (all-or-nothing, unlike the historical
+// in-place behavior that left earlier rows modified).
 func (t *Table) Update(pred Expr, specs []UpdateSpec) (int, error) {
-	changed := 0
-	for _, row := range t.rows {
-		tuple := rowTupleWithConfidence(row)
-		if pred != nil {
-			ok, err := EvalBool(pred, tuple)
-			if err != nil {
-				return changed, fmt.Errorf("relation: UPDATE predicate: %w", err)
-			}
-			if !ok {
-				continue
-			}
-		}
-		// Evaluate all assignments against the pre-update image first.
-		newValues := make([]Value, len(specs))
-		for i, spec := range specs {
-			v, err := spec.Value.Eval(tuple)
-			if err != nil {
-				return changed, fmt.Errorf("relation: UPDATE expression: %w", err)
-			}
-			newValues[i] = v
-		}
-		for i, spec := range specs {
-			v := newValues[i]
-			if spec.Column < 0 {
-				f, ok := v.AsFloat()
-				if !ok {
-					return changed, fmt.Errorf("relation: confidence update requires a numeric value, got %s", v.Type())
-				}
-				if f < 0 || f > row.MaxConf {
-					return changed, fmt.Errorf("relation: confidence %g outside [0,%g]", f, row.MaxConf)
-				}
-				row.Confidence = f
-				continue
-			}
-			if spec.Column >= t.schema.Len() {
-				return changed, fmt.Errorf("relation: UPDATE column index %d out of range", spec.Column)
-			}
-			want := t.schema.Columns[spec.Column].Type
-			if !v.IsNull() && v.Type() != want {
-				if want == TypeFloat && v.Type() == TypeInt {
-					f, _ := v.AsFloat()
-					v = Float(f)
-				} else {
-					return changed, fmt.Errorf("relation: UPDATE column %s expects %s, got %s",
-						t.schema.Columns[spec.Column].Name, want, v.Type())
-				}
-			}
-			row.Values[spec.Column] = v
-		}
-		changed++
+	x := t.catalog.Begin()
+	n, err := x.Update(t, pred, specs)
+	if err != nil {
+		x.Rollback()
+		return 0, err
 	}
-	if changed > 0 {
-		for _, ix := range t.indexes {
-			ix.rebuild()
-		}
-		t.mutated()
-		for _, spec := range specs {
-			if spec.Column < 0 {
-				t.catalog.bumpConfEpoch()
-				break
-			}
-		}
+	if _, err := x.Commit(); err != nil {
+		return 0, err
 	}
-	return changed, nil
+	return n, nil
 }

@@ -1,0 +1,233 @@
+package relation
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pcqe/internal/fault"
+	"pcqe/internal/lineage"
+)
+
+// This file holds the storage-side MVCC machinery: version chains,
+// immutable snapshots, and version pinning for operators. See DESIGN.md
+// §11 for the model.
+//
+// Every logical row is a versionSlot holding an atomically published
+// chain of immutable BaseTuple versions, newest first. A version is
+// stamped with the commit sequence number that created it; resolving a
+// slot at a pinned sequence walks the chain to the newest version whose
+// creation the pin can see. Deletes push a tombstone version, so
+// withdrawn rows vanish from scans while their lineage variables keep
+// resolving (to confidence 0) for previously computed results.
+
+// versionSlot is one logical row: the head of its version chain.
+// The head pointer is the only mutable word; everything it points to is
+// immutable once a commit publishes it, so readers never lock.
+type versionSlot struct {
+	head atomic.Pointer[BaseTuple]
+}
+
+// at resolves the slot to the newest version visible at commit sequence
+// seq, or nil when the row did not exist yet (or the slot's provisional
+// insert was rolled back). The returned version may be a tombstone.
+func (s *versionSlot) at(seq int64) *BaseTuple {
+	for b := s.head.Load(); b != nil; b = b.prev {
+		if b.created <= seq {
+			return b
+		}
+	}
+	return nil
+}
+
+// visibleAt resolves the slot at seq, filtering tombstones: it returns
+// the live row version, or nil when the row is absent or deleted.
+func (s *versionSlot) visibleAt(seq int64) *BaseTuple {
+	b := s.at(seq)
+	if b == nil || b.tombstone {
+		return nil
+	}
+	return b
+}
+
+// Snapshot is an immutable read view of the catalog pinned to one
+// committed version. Readers resolve every row, confidence, and epoch
+// through the snapshot and are never affected by concurrent commits.
+// Release returns the snapshot when the reader is done; the snapshot
+// stays usable afterwards (it owns no resources beyond bookkeeping),
+// but the open-snapshot gauge relies on balanced Release calls.
+type Snapshot struct {
+	cat *Catalog
+	seq int64
+	// planEpoch/confEpoch are the cache-invalidation counters as of seq,
+	// captured consistently with it under the catalog's publish lock.
+	planEpoch int64
+	confEpoch int64
+	// historical marks snapshots pinned to a past version via
+	// SnapshotAt: their epochs are unknowable, so caches bypass them.
+	historical bool
+	released   atomic.Bool
+}
+
+// Snapshot pins a read view to the current committed version. The
+// (version, planEpoch, confEpoch) triple is captured atomically with
+// respect to commits.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.verMu.Lock()
+	s := &Snapshot{
+		cat:       c,
+		seq:       c.commitSeq.Load(),
+		planEpoch: c.planEpoch.Load(),
+		confEpoch: c.confEpoch.Load(),
+	}
+	c.verMu.Unlock()
+	c.snapCount.Add(1)
+	m := c.metrics.Load()
+	m.Counter("relation.snapshots.taken").Inc()
+	m.Gauge("relation.snapshots.open").Add(1)
+	return s
+}
+
+// SnapshotAt pins a read view to a past committed version v, for
+// journal replay and time-travel verification. Confidence caches bypass
+// historical snapshots (their epoch counters are not reconstructible).
+func (c *Catalog) SnapshotAt(v int64) (*Snapshot, error) {
+	cur := c.commitSeq.Load()
+	if v < 0 || v > cur {
+		return nil, fmt.Errorf("relation: snapshot version %d outside [0,%d]", v, cur)
+	}
+	c.snapCount.Add(1)
+	m := c.metrics.Load()
+	m.Counter("relation.snapshots.taken").Inc()
+	m.Gauge("relation.snapshots.open").Add(1)
+	return &Snapshot{cat: c, seq: v, historical: true}, nil
+}
+
+// OpenSnapshots returns the number of snapshots taken but not yet
+// released.
+func (c *Catalog) OpenSnapshots() int64 { return c.snapCount.Load() }
+
+// Release marks the snapshot as done. It is idempotent.
+func (s *Snapshot) Release() {
+	if !s.released.CompareAndSwap(false, true) {
+		return
+	}
+	fault.Probe("relation.snapshot.release")
+	s.cat.snapCount.Add(-1)
+	s.cat.metrics.Load().Gauge("relation.snapshots.open").Add(-1)
+}
+
+// Version returns the committed version the snapshot is pinned to.
+func (s *Snapshot) Version() int64 { return s.seq }
+
+// PlanEpoch returns the plan-invalidation epoch as of the snapshot's
+// version (0 for historical snapshots).
+func (s *Snapshot) PlanEpoch() int64 { return s.planEpoch }
+
+// ConfEpoch returns the confidence epoch as of the snapshot's version
+// (0 for historical snapshots).
+func (s *Snapshot) ConfEpoch() int64 { return s.confEpoch }
+
+// Historical reports whether the snapshot was pinned to a past version
+// via SnapshotAt rather than taken at the then-current version.
+func (s *Snapshot) Historical() bool { return s.historical }
+
+// Catalog returns the catalog the snapshot reads.
+func (s *Snapshot) Catalog() *Catalog { return s.cat }
+
+// ProbOf implements lineage.Assignment against the pinned version: the
+// probability of a variable is the confidence its base tuple had at the
+// snapshot's version. Unknown (or not-yet-inserted) variables have
+// probability 0; deleted rows resolve to their tombstone's 0.
+func (s *Snapshot) ProbOf(v lineage.Var) float64 {
+	s.cat.mu.RLock()
+	slot := s.cat.byVar[v]
+	s.cat.mu.RUnlock()
+	if slot == nil {
+		return 0
+	}
+	b := slot.at(s.seq)
+	if b == nil {
+		return 0
+	}
+	return b.Confidence
+}
+
+// BaseTupleByVar resolves a lineage variable to the row version visible
+// at the snapshot (possibly a zero-confidence tombstone, mirroring
+// Catalog.BaseTupleByVar's treatment of deleted rows). It reports false
+// for variables that did not exist at the pinned version.
+func (s *Snapshot) BaseTupleByVar(v lineage.Var) (*BaseTuple, bool) {
+	s.cat.mu.RLock()
+	slot := s.cat.byVar[v]
+	s.cat.mu.RUnlock()
+	if slot == nil {
+		return nil, false
+	}
+	b := slot.at(s.seq)
+	if b == nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Confidence computes the exact confidence of a derived tuple from its
+// lineage under the snapshot's pinned base confidences.
+func (s *Snapshot) Confidence(t *Tuple) float64 {
+	return lineage.Prob(t.Lineage, s)
+}
+
+var _ lineage.Assignment = (*Snapshot)(nil)
+
+// pinnedAssign is a lineage.Assignment resolving confidences at a fixed
+// commit sequence, without snapshot bookkeeping. AttachConfidence uses
+// it when its plan is run pinned.
+type pinnedAssign struct {
+	cat *Catalog
+	seq int64
+}
+
+func (p pinnedAssign) ProbOf(v lineage.Var) float64 {
+	p.cat.mu.RLock()
+	slot := p.cat.byVar[v]
+	p.cat.mu.RUnlock()
+	if slot == nil {
+		return 0
+	}
+	b := slot.at(p.seq)
+	if b == nil {
+		return 0
+	}
+	return b.Confidence
+}
+
+// AssignmentAt returns a lineage.Assignment that resolves base-tuple
+// confidences as of committed version v.
+func (c *Catalog) AssignmentAt(v int64) lineage.Assignment {
+	return pinnedAssign{cat: c, seq: v}
+}
+
+// VersionPinner is implemented by operators that can pin their reads to
+// a committed catalog version. Composite operators forward the pin to
+// their children; leaf scans capture it. Pinning v <= 0 restores the
+// legacy behavior of reading the latest committed version at Open.
+type VersionPinner interface {
+	PinVersion(v int64)
+}
+
+// PinOperator pins op (and, transitively, its children) to version v.
+// Operators that do not read versioned state are left untouched.
+func PinOperator(op Operator, v int64) {
+	if p, ok := op.(VersionPinner); ok {
+		p.PinVersion(v)
+	}
+}
+
+// RunAt drains an operator pinned to committed version v: every base
+// table scan, index scan and attached confidence resolves at exactly
+// that version, so the result is consistent with one committed state
+// even while writers commit concurrently. RunAt(op, 0) unpins: scans
+// capture the latest committed version when opened.
+func RunAt(op Operator, v int64) ([]*Tuple, error) {
+	PinOperator(op, v)
+	return Run(op)
+}

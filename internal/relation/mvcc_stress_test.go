@@ -1,0 +1,297 @@
+package relation
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pcqe/internal/fault"
+)
+
+// The MVCC stress suite hammers the catalog with concurrent readers and
+// writers (run under -race by `make mvcc-stress` and the CI resilience
+// job). The invariant under test is snapshot isolation itself: two
+// confidences are always written together so that they sum to exactly
+// 1.0, using sixteenths so the sum is exact in binary floating point —
+// any snapshot observing a different sum has seen a torn write.
+
+// dyadic returns i-th probability from the exact grid {0/16 … 16/16}.
+func dyadic(i int) float64 { return float64(i%17) / 16 }
+
+func newStressPair(t *testing.T) (*Catalog, *Table, *BaseTuple, *BaseTuple) {
+	t.Helper()
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(1.0, nil, Int(1), Int(10))
+	b := tab.MustInsert(0.0, nil, Int(2), Int(20))
+	return c, tab, a, b
+}
+
+// checkPair asserts the reader-side invariant on one snapshot: the two
+// confidences sum to exactly 1 and re-reading through the same snapshot
+// returns identical values.
+func checkPair(t *testing.T, s *Snapshot, a, b *BaseTuple) {
+	pa, pb := s.ProbOf(a.Var), s.ProbOf(b.Var)
+	if pa+pb != 1.0 {
+		t.Errorf("torn read at version %d: %v + %v = %v", s.Version(), pa, pb, pa+pb)
+	}
+	if again := s.ProbOf(a.Var); again != pa {
+		t.Errorf("snapshot at version %d unstable: %v then %v", s.Version(), pa, again)
+	}
+}
+
+func TestMVCCStressReadersNeverSeeTornWrites(t *testing.T) {
+	c, _, a, b := newStressPair(t)
+
+	const (
+		writers       = 4
+		commitsPer    = 250
+		readerThreads = 4
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	var writersLeft atomic.Int64
+	writersLeft.Store(writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			defer func() {
+				if writersLeft.Add(-1) == 0 {
+					close(done)
+				}
+			}()
+			for i := 0; i < commitsPer; i++ {
+				p := dyadic(seed*7 + i)
+				x := c.Begin()
+				if err := x.SetConfidence(a.Var, p); err != nil {
+					t.Errorf("writer: %v", err)
+					x.Rollback()
+					return
+				}
+				if err := x.SetConfidence(b.Var, 1-p); err != nil {
+					t.Errorf("writer: %v", err)
+					x.Rollback()
+					return
+				}
+				if _, err := x.Commit(); err != nil {
+					t.Errorf("writer commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readerThreads; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion int64
+			for {
+				s := c.Snapshot()
+				if s.Version() < lastVersion {
+					t.Errorf("snapshot versions not monotone: %d after %d", s.Version(), lastVersion)
+					s.Release()
+					return
+				}
+				lastVersion = s.Version()
+				checkPair(t, s, a, b)
+				s.Release()
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if open := c.OpenSnapshots(); open != 0 {
+		t.Errorf("open snapshots after stress = %d, want 0", open)
+	}
+}
+
+// TestMVCCStressCommitFaultsStayAtomic injects a panic into every fifth
+// commit while readers watch the invariant: failed commits must be
+// invisible, successful ones must produce a gap-free version sequence.
+func TestMVCCStressCommitFaultsStayAtomic(t *testing.T) {
+	c, _, a, b := newStressPair(t)
+	startVersion := c.Version()
+
+	defer fault.Reset()
+	var probeHits atomic.Int64
+	fault.Register("relation.txn.commit", func() {
+		if probeHits.Add(1)%5 == 0 {
+			panic("induced commit fault")
+		}
+	})
+	fault.Enable()
+
+	const (
+		writers    = 3
+		commitsPer = 200
+	)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		committed []int64
+	)
+	done := make(chan struct{})
+	var writersLeft atomic.Int64
+	writersLeft.Store(writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			defer func() {
+				if writersLeft.Add(-1) == 0 {
+					close(done)
+				}
+			}()
+			for i := 0; i < commitsPer; i++ {
+				p := dyadic(seed*5 + i)
+				x := c.Begin()
+				if err := x.SetConfidence(a.Var, p); err != nil {
+					t.Errorf("writer: %v", err)
+					x.Rollback()
+					return
+				}
+				if err := x.SetConfidence(b.Var, 1-p); err != nil {
+					t.Errorf("writer: %v", err)
+					x.Rollback()
+					return
+				}
+				v, err := x.Commit()
+				if err != nil {
+					continue // induced fault: the commit rolled back
+				}
+				mu.Lock()
+				committed = append(committed, v)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := c.Snapshot()
+				checkPair(t, s, a, b)
+				s.Release()
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every successful commit produced exactly one version; the sequence
+	// is gap-free and ends at the catalog's current version.
+	sort.Slice(committed, func(i, j int) bool { return committed[i] < committed[j] })
+	for i, v := range committed {
+		if want := startVersion + int64(i) + 1; v != want {
+			t.Fatalf("commit versions have a gap: position %d is %d, want %d", i, v, want)
+		}
+	}
+	if final := c.Version(); final != startVersion+int64(len(committed)) {
+		t.Fatalf("final version = %d, want %d (start %d + %d commits)",
+			final, startVersion+int64(len(committed)), startVersion, len(committed))
+	}
+	if len(committed) == 0 || len(committed) == writers*commitsPer {
+		t.Fatalf("fault injection ineffective: %d/%d commits succeeded", len(committed), writers*commitsPer)
+	}
+	// The last writer to win left an intact pair.
+	s := c.Snapshot()
+	checkPair(t, s, a, b)
+	s.Release()
+}
+
+// TestMVCCStressScansAttributableToOneVersion runs pinned scans against
+// a table whose writers rewrite every row's value to the same number in
+// one transaction: a result mixing two committed versions would show
+// two different values.
+func TestMVCCStressScansAttributableToOneVersion(t *testing.T) {
+	c := NewCatalog()
+	tab, err := c.CreateTable("Reg", NewSchema(Column{Name: "v", Type: TypeInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 8
+	for i := 0; i < rows; i++ {
+		tab.MustInsert(1.0, nil, Int(0))
+	}
+
+	const (
+		writers    = 2
+		commitsPer = 150
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var writersLeft atomic.Int64
+	writersLeft.Store(writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			defer func() {
+				if writersLeft.Add(-1) == 0 {
+					close(done)
+				}
+			}()
+			for i := 0; i < commitsPer; i++ {
+				x := c.Begin()
+				if _, err := x.Update(tab, nil, []UpdateSpec{
+					{Column: 0, Value: Const{Value: Int(int64(seed*commitsPer + i))}},
+				}); err != nil {
+					t.Errorf("writer: %v", err)
+					x.Rollback()
+					return
+				}
+				if _, err := x.Commit(); err != nil {
+					t.Errorf("writer commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := c.Snapshot()
+				got, err := RunAt(tab.Scan(), s.Version())
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					s.Release()
+					return
+				}
+				if len(got) != rows {
+					t.Errorf("scan at version %d: %d rows, want %d", s.Version(), len(got), rows)
+				} else {
+					first, _ := got[0].Values[0].AsInt()
+					for _, tu := range got[1:] {
+						v, _ := tu.Values[0].AsInt()
+						if v != first {
+							t.Errorf("scan at version %d mixes committed states: %d and %d", s.Version(), first, v)
+							break
+						}
+					}
+				}
+				s.Release()
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

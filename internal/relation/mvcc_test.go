@@ -1,0 +1,531 @@
+package relation
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pcqe/internal/fault"
+	"pcqe/internal/lineage"
+)
+
+// newMVCCTable builds a two-column table for version-chain tests.
+func newMVCCTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := NewCatalog()
+	tab, err := c.CreateTable("T", NewSchema(
+		Column{Name: "k", Type: TypeInt},
+		Column{Name: "v", Type: TypeInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tab
+}
+
+// rowImage is the comparable image of one visible row version.
+type rowImage struct {
+	v       lineage.Var
+	values  string
+	conf    float64
+	maxConf float64
+}
+
+// dbImage captures everything a rollback or failed commit must leave
+// untouched: the counters plus every table's visible rows in order.
+type dbImage struct {
+	version, planEpoch, confEpoch int64
+	rows                          map[string][]rowImage
+	lens                          map[string]int
+}
+
+func captureImage(c *Catalog, tables ...*Table) dbImage {
+	img := dbImage{
+		version:   c.Version(),
+		planEpoch: c.PlanEpoch(),
+		confEpoch: c.ConfEpoch(),
+		rows:      map[string][]rowImage{},
+		lens:      map[string]int{},
+	}
+	for _, t := range tables {
+		for _, b := range t.Rows() {
+			var sb strings.Builder
+			for _, v := range b.Values {
+				sb.WriteString(v.String())
+				sb.WriteByte('|')
+			}
+			img.rows[t.Name] = append(img.rows[t.Name], rowImage{
+				v: b.Var, values: sb.String(), conf: b.Confidence, maxConf: b.MaxConf,
+			})
+		}
+		img.lens[t.Name] = t.Len()
+	}
+	return img
+}
+
+func assertImagesEqual(t *testing.T, want, got dbImage) {
+	t.Helper()
+	if got.version != want.version || got.planEpoch != want.planEpoch || got.confEpoch != want.confEpoch {
+		t.Fatalf("counters changed: version %d→%d planEpoch %d→%d confEpoch %d→%d",
+			want.version, got.version, want.planEpoch, got.planEpoch, want.confEpoch, got.confEpoch)
+	}
+	for name, rows := range want.rows {
+		g := got.rows[name]
+		if len(g) != len(rows) {
+			t.Fatalf("table %s: %d rows, want %d", name, len(g), len(rows))
+		}
+		for i := range rows {
+			if g[i] != rows[i] {
+				t.Fatalf("table %s row %d: %+v, want %+v", name, i, g[i], rows[i])
+			}
+		}
+		if got.lens[name] != want.lens[name] {
+			t.Fatalf("table %s Len: %d, want %d", name, got.lens[name], want.lens[name])
+		}
+	}
+}
+
+func keyEq(t *testing.T, tab *Table, k int64) Expr {
+	t.Helper()
+	ref, err := NewColRef(tab.Schema(), "", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Binary{Op: OpEq, Left: ref, Right: Const{Value: Int(k)}}
+}
+
+func TestMVCCSnapshotSeesOnlyItsVersion(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(0.4, nil, Int(1), Int(10))
+	b := tab.MustInsert(0.6, nil, Int(2), Int(20))
+
+	snap := c.Snapshot()
+	defer snap.Release()
+	v0 := c.Version()
+
+	// Three commits after the snapshot: a confidence change, an insert,
+	// and a delete.
+	if err := c.SetConfidence(a.Var, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert(0.5, nil, Int(3), Int(30))
+	if n, err := tab.Delete(keyEq(t, tab, 2)); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+
+	if got := c.Version(); got != v0+3 {
+		t.Fatalf("version = %d, want %d (one per commit)", got, v0+3)
+	}
+	if snap.Version() != v0 {
+		t.Fatalf("snapshot drifted to version %d", snap.Version())
+	}
+	// The pinned view is unaffected by all three commits.
+	if p := snap.ProbOf(a.Var); p != 0.4 {
+		t.Errorf("snapshot ProbOf(a) = %v, want 0.4", p)
+	}
+	if p := snap.ProbOf(b.Var); p != 0.6 {
+		t.Errorf("snapshot ProbOf(b) = %v, want 0.6", p)
+	}
+	if rows := tab.RowsAt(snap); len(rows) != 2 {
+		t.Errorf("RowsAt(snapshot) = %d rows, want 2", len(rows))
+	}
+	// The latest view reflects them all.
+	if p := c.ProbOf(a.Var); p != 0.9 {
+		t.Errorf("latest ProbOf(a) = %v, want 0.9", p)
+	}
+	if p := c.ProbOf(b.Var); p != 0 {
+		t.Errorf("latest ProbOf(deleted b) = %v, want 0", p)
+	}
+	if rows := tab.Rows(); len(rows) != 2 { // a and the new row; b deleted
+		t.Errorf("latest Rows = %d, want 2", len(rows))
+	}
+}
+
+func TestMVCCDeletedRowKeepsResolvingAsTombstone(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(0.7, nil, Int(1), Int(10))
+	result := &Tuple{Lineage: lineage.NewVar(a.Var)}
+
+	before := c.Snapshot()
+	defer before.Release()
+
+	if n, err := tab.Delete(nil); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	got, ok := c.BaseTupleByVar(a.Var)
+	if !ok {
+		t.Fatal("deleted row must stay resolvable by variable")
+	}
+	if !got.Tombstone() || got.Confidence != 0 {
+		t.Fatalf("tombstone=%v conf=%v, want tombstone with confidence 0", got.Tombstone(), got.Confidence)
+	}
+	if p := c.Confidence(result); p != 0 {
+		t.Errorf("derived confidence after delete = %v, want 0", p)
+	}
+	// A snapshot taken before the delete still sees the live row.
+	if p := before.Confidence(result); p != 0.7 {
+		t.Errorf("pre-delete snapshot confidence = %v, want 0.7", p)
+	}
+}
+
+func TestMVCCTxnRollbackRestoresStateBitIdentical(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	tab.MustInsert(0.2, nil, Int(1), Int(10))
+	rowB := tab.MustInsert(0.5, nil, Int(2), Int(20))
+	tab.MustInsert(0.8, nil, Int(3), Int(30))
+	if _, err := tab.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := captureImage(c, tab)
+	heldRows := tab.Rows()
+
+	x := c.Begin()
+	if _, err := x.Insert(tab, []Value{Int(4), Int(40)}, 0.9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.SetConfidence(rowB.Var, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Update(tab, keyEq(t, tab, 1), []UpdateSpec{{Column: 1, Value: Const{Value: Int(99)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Delete(tab, keyEq(t, tab, 3)); err != nil {
+		t.Fatal(err)
+	}
+	x.Rollback()
+	x.Rollback() // idempotent
+
+	assertImagesEqual(t, want, captureImage(c, tab))
+	// The rows captured before the transaction point at the same versions.
+	after := tab.Rows()
+	if len(after) != len(heldRows) {
+		t.Fatalf("rows after rollback = %d, want %d", len(after), len(heldRows))
+	}
+	for i := range after {
+		if after[i] != heldRows[i] {
+			t.Fatalf("row %d is a different version after rollback", i)
+		}
+	}
+	// A new transaction can run after the rollback released the writer.
+	if err := c.SetConfidence(rowB.Var, 0.6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVCCCommitFaultIsAllOrNothing(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	rowA := tab.MustInsert(0.3, nil, Int(1), Int(10))
+	want := captureImage(c, tab)
+
+	defer fault.Reset()
+	fault.Register("relation.txn.commit", func() { panic("injected commit fault") })
+	fault.Enable()
+
+	x := c.Begin()
+	if err := x.SetConfidence(rowA.Var, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Insert(tab, []Value{Int(2), Int(20)}, 0.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	version, err := x.Commit()
+	if err == nil || !strings.Contains(err.Error(), "commit fault") {
+		t.Fatalf("Commit error = %v, want injected commit fault", err)
+	}
+	if version != 0 {
+		t.Fatalf("failed commit returned version %d, want 0", version)
+	}
+	assertImagesEqual(t, want, captureImage(c, tab))
+
+	// With the fault cleared the same mutation commits cleanly.
+	fault.Reset()
+	if err := c.SetConfidence(rowA.Var, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Version(); got != want.version+1 {
+		t.Fatalf("version = %d, want %d", got, want.version+1)
+	}
+	if p := c.ProbOf(rowA.Var); p != 0.7 {
+		t.Fatalf("confidence = %v, want 0.7", p)
+	}
+}
+
+func TestMVCCSnapshotAtTimeTravel(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	v0 := c.Version() // table exists, no rows
+	a := tab.MustInsert(0.2, nil, Int(1), Int(10))
+	v1 := c.Version()
+	if err := c.SetConfidence(a.Var, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	v2 := c.Version()
+	if err := c.SetConfidence(a.Var, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	v3 := c.Version()
+
+	for _, tc := range []struct {
+		v    int64
+		rows int
+		p    float64
+	}{
+		{v0, 0, 0}, {v1, 1, 0.2}, {v2, 1, 0.5}, {v3, 1, 0.8},
+	} {
+		snap, err := c.SnapshotAt(tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !snap.Historical() || snap.PlanEpoch() != 0 || snap.ConfEpoch() != 0 {
+			t.Fatalf("v%d: historical=%v epochs=(%d,%d)", tc.v, snap.Historical(), snap.PlanEpoch(), snap.ConfEpoch())
+		}
+		if rows := tab.RowsAt(snap); len(rows) != tc.rows {
+			t.Errorf("version %d: %d rows, want %d", tc.v, len(rows), tc.rows)
+		}
+		if p := snap.ProbOf(a.Var); p != tc.p {
+			t.Errorf("version %d: ProbOf = %v, want %v", tc.v, p, tc.p)
+		}
+		snap.Release()
+	}
+	if _, err := c.SnapshotAt(c.Version() + 1); err == nil {
+		t.Error("future version must be rejected")
+	}
+	if _, err := c.SnapshotAt(-1); err == nil {
+		t.Error("negative version must be rejected")
+	}
+}
+
+// TestMVCCRowsAliasingRegression guards the historical bug where
+// Table.Rows returned an aliased view that later mutations edited in
+// place: a caller holding the slice across an update/delete/insert saw
+// its rows change under it.
+func TestMVCCRowsAliasingRegression(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	tab.MustInsert(0.1, nil, Int(1), Int(10))
+	tab.MustInsert(0.2, nil, Int(2), Int(20))
+	tab.MustInsert(0.3, nil, Int(3), Int(30))
+	_ = c
+
+	held := tab.Rows()
+	type image struct {
+		conf float64
+		val  int64
+	}
+	want := make([]image, len(held))
+	for i, b := range held {
+		v, _ := b.Values[1].AsInt()
+		want[i] = image{conf: b.Confidence, val: v}
+	}
+
+	// Mutate through every path: value update, confidence update, delete,
+	// insert.
+	if _, err := tab.Update(nil, []UpdateSpec{
+		{Column: 1, Value: Const{Value: Int(99)}},
+		{Column: -1, Value: Const{Value: Float(0.9)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Delete(keyEq(t, tab, 2)); err != nil {
+		t.Fatal(err)
+	}
+	tab.MustInsert(0.4, nil, Int(4), Int(40))
+
+	if len(held) != 3 {
+		t.Fatalf("held slice length changed to %d", len(held))
+	}
+	for i, b := range held {
+		v, _ := b.Values[1].AsInt()
+		if b.Confidence != want[i].conf || v != want[i].val {
+			t.Fatalf("held row %d mutated: conf=%v val=%d, want conf=%v val=%d",
+				i, b.Confidence, v, want[i].conf, want[i].val)
+		}
+	}
+	// The fresh view reflects the mutations.
+	fresh := tab.Rows()
+	if len(fresh) != 3 { // 3 original − 1 deleted + 1 inserted
+		t.Fatalf("fresh Rows = %d, want 3", len(fresh))
+	}
+	for _, b := range fresh {
+		k, _ := b.Values[0].AsInt()
+		if k == 4 {
+			continue
+		}
+		v, _ := b.Values[1].AsInt()
+		if v != 99 || b.Confidence != 0.9 {
+			t.Fatalf("fresh row k=%d: val=%d conf=%v, want 99/0.9", k, v, b.Confidence)
+		}
+	}
+}
+
+func TestMVCCTxnReadsItsOwnWrites(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(0.4, nil, Int(1), Int(10))
+
+	x := c.Begin()
+	if err := x.SetConfidence(a.Var, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := x.ConfidenceOf(a.Var); !ok || p != 0.7 {
+		t.Fatalf("txn ConfidenceOf = %v/%v, want 0.7 (read your writes)", p, ok)
+	}
+	// Committed readers still see the old value while the txn is open.
+	if p := c.ProbOf(a.Var); p != 0.4 {
+		t.Fatalf("committed ProbOf = %v, want 0.4 while txn open", p)
+	}
+	if _, err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p := c.ProbOf(a.Var); p != 0.7 {
+		t.Fatalf("committed ProbOf = %v after commit, want 0.7", p)
+	}
+}
+
+func TestMVCCEmptyCommitPublishesNothing(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	tab.MustInsert(0.4, nil, Int(1), Int(10))
+	v, pe, ce := c.Version(), c.PlanEpoch(), c.ConfEpoch()
+
+	x := c.Begin()
+	version, err := x.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != v {
+		t.Fatalf("empty commit returned version %d, want read version %d", version, v)
+	}
+	if c.Version() != v || c.PlanEpoch() != pe || c.ConfEpoch() != ce {
+		t.Fatal("empty commit must not advance any counter")
+	}
+
+	// A finished transaction rejects further use.
+	if _, err := x.Commit(); err == nil {
+		t.Error("double commit must fail")
+	}
+	if err := x.SetConfidence(1, 0.5); err == nil {
+		t.Error("mutation after commit must fail")
+	}
+}
+
+func TestMVCCSnapshotReleaseIdempotent(t *testing.T) {
+	c, _ := newMVCCTable(t)
+	base := c.OpenSnapshots()
+	s := c.Snapshot()
+	if got := c.OpenSnapshots(); got != base+1 {
+		t.Fatalf("open snapshots = %d, want %d", got, base+1)
+	}
+	s.Release()
+	s.Release()
+	if got := c.OpenSnapshots(); got != base {
+		t.Fatalf("open snapshots after double release = %d, want %d", got, base)
+	}
+}
+
+func TestMVCCRunAtPinsWholePlan(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	tab.MustInsert(0.5, nil, Int(1), Int(10))
+	tab.MustInsert(0.5, nil, Int(2), Int(20))
+	v1 := c.Version()
+	tab.MustInsert(0.5, nil, Int(3), Int(30))
+
+	ref, err := NewColRef(tab.Schema(), "", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &Select{Input: tab.Scan(), Pred: &Binary{Op: OpGt, Left: ref, Right: Const{Value: Int(0)}}}
+	rows, err := RunAt(op, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("pinned run = %d rows, want 2", len(rows))
+	}
+	rows, err = RunAt(op, 0) // unpinned: latest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("latest run = %d rows, want 3", len(rows))
+	}
+}
+
+// TestMVCCAttachConfidencePinned checks that a pinned plan resolves the
+// _confidence column at the pinned version even after later commits
+// change the base confidences.
+func TestMVCCAttachConfidencePinned(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(0.25, nil, Int(1), Int(10))
+	v1 := c.Version()
+	if err := c.SetConfidence(a.Var, 0.75); err != nil {
+		t.Fatal(err)
+	}
+
+	op := &AttachConfidence{Input: tab.Scan(), Assign: c}
+	rows, err := RunAt(op, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	got, _ := rows[0].Values[len(rows[0].Values)-1].AsFloat()
+	if got != 0.25 {
+		t.Fatalf("pinned _confidence = %v, want 0.25", got)
+	}
+}
+
+// TestMVCCVersionCountersConcurrentReads is the -race regression for the
+// version counters: unsynchronized readers poll the counters and take
+// snapshots while a writer commits. Before the counters became atomics
+// published under the version lock this was a data race; now every
+// reader must additionally observe monotonically non-decreasing
+// versions and internally consistent snapshots.
+func TestMVCCVersionCountersConcurrentReads(t *testing.T) {
+	c, tab := newMVCCTable(t)
+	a := tab.MustInsert(0.5, nil, Int(1), Int(10))
+
+	const commits = 200
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < commits; i++ {
+			p := float64(i%11) / 10
+			if err := c.SetConfidence(a.Var, p); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastV, lastC int64
+			for {
+				v := c.Version()
+				ce := c.ConfEpoch()
+				_ = c.PlanEpoch()
+				if v < lastV || ce < lastC {
+					t.Errorf("counters went backwards: version %d→%d confEpoch %d→%d", lastV, v, lastC, ce)
+					return
+				}
+				lastV, lastC = v, ce
+				s := c.Snapshot()
+				if s.Version() < lastV {
+					t.Errorf("snapshot version %d behind observed %d", s.Version(), lastV)
+					s.Release()
+					return
+				}
+				s.Release()
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -97,6 +97,9 @@ func (s *Select) Next() (*Tuple, error) {
 // Close implements Operator.
 func (s *Select) Close() error { return s.Input.Close() }
 
+// PinVersion implements VersionPinner.
+func (s *Select) PinVersion(v int64) { PinOperator(s.Input, v) }
+
 // Project computes output columns from expressions. With Distinct set,
 // duplicate output rows are merged and their lineages are OR-ed — this is
 // the operation that produced p25 = p02 ∨ p03 in the paper's running
@@ -204,6 +207,9 @@ func (p *Project) Close() error {
 	return p.Input.Close()
 }
 
+// PinVersion implements VersionPinner.
+func (p *Project) PinVersion(v int64) { PinOperator(p.Input, v) }
+
 // Limit passes through at most N tuples (with an optional offset).
 type Limit struct {
 	Input   Operator
@@ -244,3 +250,6 @@ func (l *Limit) Next() (*Tuple, error) {
 
 // Close implements Operator.
 func (l *Limit) Close() error { return l.Input.Close() }
+
+// PinVersion implements VersionPinner.
+func (l *Limit) PinVersion(v int64) { PinOperator(l.Input, v) }

@@ -287,6 +287,9 @@ func TestCatalogConfidenceUpdates(t *testing.T) {
 	c := NewCatalog()
 	tab, _ := c.CreateTable("T", NewSchema(Column{Name: "a", Type: TypeInt}))
 	row := tab.MustInsert(0.3, cost.Linear{Rate: 1}, Int(1))
+	// Fixture tweak while row is still the only (head) version; later
+	// updates must carry the cap through their copy-on-write versions.
+	row.MaxConf = 0.9
 	if p := c.ProbOf(row.Var); p != 0.3 {
 		t.Errorf("ProbOf = %v", p)
 	}
@@ -302,15 +305,20 @@ func TestCatalogConfidenceUpdates(t *testing.T) {
 	if err := c.SetConfidence(lineage.Var(9999), 0.5); err == nil {
 		t.Error("unknown var should fail")
 	}
-	row.MaxConf = 0.9
 	if err := c.SetConfidence(row.Var, 0.95); err == nil {
 		t.Error("confidence above MaxConf should fail")
 	}
 	if c.ProbOf(lineage.Var(424242)) != 0 {
 		t.Error("unknown var probability should be 0")
 	}
-	if got, ok := c.BaseTupleByVar(row.Var); !ok || got != row {
-		t.Error("BaseTupleByVar")
+	// BaseTupleByVar resolves the current version: the 0.8 update's
+	// copy-on-write version, not the inserted one, with MaxConf intact.
+	got, ok := c.BaseTupleByVar(row.Var)
+	if !ok || got.Var != row.Var {
+		t.Fatal("BaseTupleByVar")
+	}
+	if got.Confidence != 0.8 || got.MaxConf != 0.9 {
+		t.Errorf("current version = (%v, max %v), want (0.8, max 0.9)", got.Confidence, got.MaxConf)
 	}
 }
 

@@ -222,3 +222,21 @@ func (op *Except) Close() error {
 	op.buffer = nil
 	return nil
 }
+
+// PinVersion implements VersionPinner.
+func (u *Union) PinVersion(v int64) {
+	PinOperator(u.Left, v)
+	PinOperator(u.Right, v)
+}
+
+// PinVersion implements VersionPinner.
+func (i *Intersect) PinVersion(v int64) {
+	PinOperator(i.Left, v)
+	PinOperator(i.Right, v)
+}
+
+// PinVersion implements VersionPinner.
+func (e *Except) PinVersion(v int64) {
+	PinOperator(e.Left, v)
+	PinOperator(e.Right, v)
+}

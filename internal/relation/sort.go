@@ -88,6 +88,9 @@ func (s *Sort) Close() error {
 	return nil
 }
 
+// PinVersion implements VersionPinner.
+func (s *Sort) PinVersion(v int64) { PinOperator(s.Input, v) }
+
 // Rename re-qualifies the input schema with an alias; tuples pass through
 // untouched.
 type Rename struct {
@@ -113,3 +116,6 @@ func (r *Rename) Next() (*Tuple, error) { return r.Input.Next() }
 
 // Close implements Operator.
 func (r *Rename) Close() error { return r.Input.Close() }
+
+// PinVersion implements VersionPinner.
+func (r *Rename) PinVersion(v int64) { PinOperator(r.Input, v) }

@@ -24,29 +24,35 @@ type TableStats struct {
 	version int64
 }
 
-// Stats returns the table's statistics, recomputing them when a row
-// mutation has occurred since the last collection. Collection is a
-// single O(rows × columns) pass; between mutations repeated calls are
-// free.
+// Stats returns the table's statistics, recomputing them when a
+// committed row mutation has occurred since the last collection.
+// Collection is a single O(rows × columns) pass over the rows visible
+// at the latest committed version; between mutations repeated calls
+// are free. Safe for concurrent use (a commit racing the collection at
+// worst re-collects on the next call).
 func (t *Table) Stats() *TableStats {
-	if t.stats != nil && t.stats.version == t.version {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	m := t.mutations.Load()
+	if t.stats != nil && t.stats.version == m {
 		return t.stats
 	}
-	t.stats = collectStats(t)
+	t.stats = collectStats(t, m)
 	return t.stats
 }
 
-func collectStats(t *Table) *TableStats {
+func collectStats(t *Table, version int64) *TableStats {
+	rows := t.rowsAt(t.catalog.commitSeq.Load())
 	st := &TableStats{
-		Rows:    len(t.rows),
+		Rows:    len(rows),
 		Cols:    make([]ColumnStats, t.schema.Len()),
-		version: t.version,
+		version: version,
 	}
 	for ci := range st.Cols {
 		cs := &st.Cols[ci]
 		cs.Min, cs.Max = Null(), Null()
 		seen := make(map[string]struct{})
-		for _, row := range t.rows {
+		for _, row := range rows {
 			v := row.Values[ci]
 			if v.IsNull() {
 				cs.Nulls++

@@ -2,20 +2,39 @@ package relation
 
 import (
 	"fmt"
-	"math"
+	"sync"
+	"sync/atomic"
 
 	"pcqe/internal/cost"
 	"pcqe/internal/lineage"
 )
 
-// BaseTuple is a stored row: values plus the confidence metadata the PCQE
-// framework attaches to every data item.
+// BaseTuple is one immutable version of a stored row: values plus the
+// confidence metadata the PCQE framework attaches to every data item.
+// Mutations never edit a published version — they push a fresh version
+// onto the row's chain (copy-on-write), stamped with the committing
+// transaction's version. Fields must not be modified after the version
+// is published.
 type BaseTuple struct {
 	Var        lineage.Var   // catalog-wide lineage variable
 	Values     []Value       //
 	Confidence float64       // current confidence in [0,1]
 	MaxConf    float64       // maximum attainable confidence (usually 1)
 	Cost       cost.Function // price of confidence increments; nil = not improvable
+
+	// created is the commit sequence that published this version;
+	// versions of an uncommitted transaction carry its (still invisible)
+	// write sequence.
+	created int64
+	// deleted is the commit sequence that superseded or tombstoned this
+	// version (0 while it is the newest). Maintained for diagnostics and
+	// chain pruning; visibility resolution relies on chain order alone.
+	deleted atomic.Int64
+	// tombstone marks a deletion marker version: invisible to scans,
+	// resolving to confidence 0 for lineage of older results.
+	tombstone bool
+	// prev is the next-older version of the same row.
+	prev *BaseTuple
 }
 
 // Improvable reports whether the tuple's confidence can be raised.
@@ -23,37 +42,89 @@ func (b *BaseTuple) Improvable() bool {
 	return b.Cost != nil && b.Confidence < b.MaxConf
 }
 
-// Table is an in-memory relation whose rows carry confidence and are
-// registered with a Catalog for lineage-variable assignment.
-type Table struct {
-	Name   string
-	schema *Schema
-	rows   []*BaseTuple
+// CreatedVersion returns the committed version that produced this row
+// version.
+func (b *BaseTuple) CreatedVersion() int64 { return b.created }
 
+// DeletedVersion returns the committed version that superseded or
+// deleted this row version, or 0 while it is current.
+func (b *BaseTuple) DeletedVersion() int64 { return b.deleted.Load() }
+
+// Tombstone reports whether this version is a deletion marker.
+func (b *BaseTuple) Tombstone() bool { return b.tombstone }
+
+// Table is an in-memory multi-versioned relation whose rows carry
+// confidence and are registered with a Catalog for lineage-variable
+// assignment. Row storage is a slice of version slots; all mutation
+// goes through catalog transactions.
+type Table struct {
+	Name    string
+	schema  *Schema
 	catalog *Catalog
+
+	// mu guards the slots slice header and the index registry; the
+	// chains the slots point to are lock-free (atomic heads, immutable
+	// versions).
+	mu      sync.RWMutex
+	slots   []*versionSlot
 	indexes map[int]*Index // column position -> hash index
 
-	// version counts this table's row mutations; cached statistics are
-	// valid only while their version matches.
-	version int64
+	// live counts visible rows at the latest committed version;
+	// transactions apply their deltas at commit.
+	live atomic.Int64
+	// mutations counts committed row/value mutations (not
+	// confidence-only changes); cached statistics are keyed on it.
+	mutations atomic.Int64
+
+	statsMu sync.Mutex
 	stats   *TableStats
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of rows.
-func (t *Table) Len() int { return len(t.rows) }
+// Len returns the number of live rows at the latest committed version.
+func (t *Table) Len() int { return int(t.live.Load()) }
 
-// Rows returns the stored rows. The slice must not be modified; rows may
-// be inspected and their confidences updated via the catalog.
-func (t *Table) Rows() []*BaseTuple { return t.rows }
+// snapshotSlots captures the current slot slice; the slice is
+// append-only (replaced wholesale on rollback), so iterating the
+// capture is safe without further locking.
+func (t *Table) snapshotSlots() []*versionSlot {
+	t.mu.RLock()
+	s := t.slots
+	t.mu.RUnlock()
+	return s
+}
 
-// Insert validates and appends a row, assigning it a fresh lineage
-// variable. Confidence defaults to 1 and MaxConf to 1 when given as 0.
-func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*BaseTuple, error) {
+// Rows returns the rows visible at the latest committed version. The
+// returned slice is freshly built — callers may hold it across
+// subsequent mutations and will keep seeing the versions that were
+// current when Rows was called.
+func (t *Table) Rows() []*BaseTuple {
+	return t.rowsAt(t.catalog.commitSeq.Load())
+}
+
+// RowsAt returns the rows visible at the snapshot's pinned version.
+func (t *Table) RowsAt(s *Snapshot) []*BaseTuple {
+	return t.rowsAt(s.Version())
+}
+
+func (t *Table) rowsAt(seq int64) []*BaseTuple {
+	slots := t.snapshotSlots()
+	out := make([]*BaseTuple, 0, len(slots))
+	for _, slot := range slots {
+		if b := slot.visibleAt(seq); b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// validateRow type-checks values against the schema, coercing int
+// literals in real columns in place.
+func (t *Table) validateRow(values []Value) error {
 	if len(values) != t.schema.Len() {
-		return nil, fmt.Errorf("relation: table %s expects %d values, got %d", t.Name, t.schema.Len(), len(values))
+		return fmt.Errorf("relation: table %s expects %d values, got %d", t.Name, t.schema.Len(), len(values))
 	}
 	for i, v := range values {
 		if v.IsNull() {
@@ -67,34 +138,27 @@ func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*B
 				values[i] = Float(f)
 				continue
 			}
-			return nil, fmt.Errorf("relation: table %s column %s expects %s, got %s",
+			return fmt.Errorf("relation: table %s column %s expects %s, got %s",
 				t.Name, t.schema.Columns[i].Name, want, v.Type())
 		}
 	}
-	if math.IsNaN(confidence) || confidence < 0 || confidence > 1 {
-		return nil, fmt.Errorf("relation: confidence %g outside [0,1]", confidence)
-	}
-	row := &BaseTuple{
-		Var:        t.catalog.nextVar(),
-		Values:     values,
-		Confidence: confidence,
-		MaxConf:    1,
-		Cost:       fn,
-	}
-	t.rows = append(t.rows, row)
-	t.catalog.register(row)
-	for _, ix := range t.indexes {
-		ix.add(row)
-	}
-	t.mutated()
-	return row, nil
+	return nil
 }
 
-// mutated records a row mutation: it invalidates cached statistics and
-// bumps the catalog's plan-invalidation version.
-func (t *Table) mutated() {
-	t.version++
-	t.catalog.bumpVersion()
+// Insert validates and appends a row in its own committed transaction,
+// assigning it a fresh lineage variable. Confidence defaults to 1 and
+// MaxConf to 1 when given as 0.
+func (t *Table) Insert(values []Value, confidence float64, fn cost.Function) (*BaseTuple, error) {
+	x := t.catalog.Begin()
+	row, err := x.Insert(t, values, confidence, fn)
+	if err != nil {
+		x.Rollback()
+		return nil, err
+	}
+	if _, err := x.Commit(); err != nil {
+		return nil, err
+	}
+	return row, nil
 }
 
 // MustInsert is Insert that panics on error; it keeps test fixtures and
@@ -107,26 +171,46 @@ func (t *Table) MustInsert(confidence float64, fn cost.Function, values ...Value
 	return row
 }
 
-// Scan returns a Volcano operator producing the table's current rows as
-// derived tuples whose lineage is their own variable.
+// Scan returns a Volcano operator producing the table's rows as derived
+// tuples whose lineage is their own variable. Unpinned, it reads the
+// latest committed version at Open; PinVersion (or relation.RunAt) pins
+// it to a fixed committed version.
 func (t *Table) Scan() Operator { return &scanOp{table: t} }
 
 type scanOp struct {
 	table *Table
+	// pin is the committed version to read; <= 0 means capture the
+	// latest at Open.
+	pin   int64
+	at    int64
+	slots []*versionSlot
 	pos   int
 }
 
 func (s *scanOp) Schema() *Schema { return s.table.schema }
 
-func (s *scanOp) Open() error { s.pos = 0; return nil }
+// PinVersion implements VersionPinner.
+func (s *scanOp) PinVersion(v int64) { s.pin = v }
+
+func (s *scanOp) Open() error {
+	s.at = s.pin
+	if s.at <= 0 {
+		s.at = s.table.catalog.commitSeq.Load()
+	}
+	s.slots = s.table.snapshotSlots()
+	s.pos = 0
+	return nil
+}
 
 func (s *scanOp) Next() (*Tuple, error) {
-	if s.pos >= len(s.table.rows) {
-		return nil, nil
+	for s.pos < len(s.slots) {
+		slot := s.slots[s.pos]
+		s.pos++
+		if b := slot.visibleAt(s.at); b != nil {
+			return &Tuple{Values: b.Values, Lineage: lineage.NewVar(b.Var)}, nil
+		}
 	}
-	row := s.table.rows[s.pos]
-	s.pos++
-	return &Tuple{Values: row.Values, Lineage: lineage.NewVar(row.Var)}, nil
+	return nil, nil
 }
 
 func (s *scanOp) Close() error { return nil }

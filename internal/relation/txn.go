@@ -1,0 +1,479 @@
+package relation
+
+import (
+	"fmt"
+
+	"pcqe/internal/conf"
+	"pcqe/internal/cost"
+	"pcqe/internal/fault"
+	"pcqe/internal/lineage"
+)
+
+// Txn is a write transaction over the catalog. One transaction writes
+// at a time (Begin serializes on the catalog's writer lock); readers
+// are never blocked — they resolve version chains against committed
+// state only. All mutations inside the transaction stamp provisional
+// row versions with the transaction's write sequence, which no snapshot
+// can see until Commit atomically publishes it; Rollback unwinds every
+// provisional version and leaves the catalog bit-identical to the state
+// the transaction began from.
+//
+// The transaction reads its own writes: predicates and confidence
+// lookups inside the transaction resolve at the (unpublished) write
+// sequence.
+type Txn struct {
+	cat      *Catalog
+	readSeq  int64
+	writeSeq int64
+
+	done   bool
+	locked bool
+
+	// rowsChanged marks mutations that can change a cached plan's shape
+	// or a materialized subquery (insert/delete/value update); it bumps
+	// the plan epoch at commit. confChanged marks confidence mutations;
+	// it bumps the confidence epoch and carries the touched variables to
+	// the incremental re-evaluation of registered confidence caches.
+	rowsChanged bool
+	confChanged bool
+	confVars    []lineage.Var
+	confSeen    map[lineage.Var]struct{}
+
+	undo   []undoRec
+	tables []*tableDelta
+}
+
+// undoRec reverses one slot mutation. old == nil marks an insert (the
+// slot's provisional head is dropped and the slot removed from its
+// table); otherwise the slot's head is restored to old and old's
+// deletion stamp cleared.
+type undoRec struct {
+	slot *versionSlot
+	old  *BaseTuple
+	t    *Table
+	v    lineage.Var
+}
+
+// tableDelta accumulates per-table bookkeeping to apply at commit.
+type tableDelta struct {
+	t       *Table
+	live    int64
+	mutated bool
+}
+
+// Begin opens a write transaction. It blocks until any other write
+// transaction commits or rolls back; the returned transaction must be
+// finished with exactly one Commit or Rollback.
+func (c *Catalog) Begin() *Txn {
+	c.wmu.Lock()
+	seq := c.commitSeq.Load()
+	return &Txn{cat: c, readSeq: seq, writeSeq: seq + 1, locked: true}
+}
+
+// ReadVersion returns the committed version the transaction reads over.
+func (x *Txn) ReadVersion() int64 { return x.readSeq }
+
+// release drops the writer lock exactly once.
+func (x *Txn) release() {
+	if x.locked {
+		x.locked = false
+		x.cat.wmu.Unlock()
+	}
+}
+
+func (x *Txn) delta(t *Table) *tableDelta {
+	for _, td := range x.tables {
+		if td.t == t {
+			return td
+		}
+	}
+	td := &tableDelta{t: t}
+	x.tables = append(x.tables, td)
+	return td
+}
+
+func (x *Txn) markRows(t *Table) {
+	x.rowsChanged = true
+	x.delta(t).mutated = true
+}
+
+func (x *Txn) markConf(v lineage.Var) {
+	x.confChanged = true
+	if x.confSeen == nil {
+		x.confSeen = map[lineage.Var]struct{}{}
+	}
+	if _, ok := x.confSeen[v]; ok {
+		return
+	}
+	x.confSeen[v] = struct{}{}
+	x.confVars = append(x.confVars, v)
+}
+
+// cow pushes a provisional version nv over the slot's current head,
+// stamping the superseded version and recording the undo. Inside a
+// transaction the head is always the version visible at the write
+// sequence (the writer is alone), so callers pass the resolved version
+// as old.
+func (x *Txn) cow(slot *versionSlot, old, nv *BaseTuple) {
+	nv.prev = old
+	if old != nil {
+		old.deleted.Store(x.writeSeq)
+	}
+	slot.head.Store(nv)
+	x.undo = append(x.undo, undoRec{slot: slot, old: old})
+}
+
+// Insert validates and appends a row to t inside the transaction,
+// assigning it a fresh lineage variable. The row is invisible to every
+// snapshot until Commit. MaxConf defaults to 1.
+func (x *Txn) Insert(t *Table, values []Value, confidence float64, fn cost.Function) (*BaseTuple, error) {
+	if x.done {
+		return nil, errTxnFinished
+	}
+	if err := t.validateRow(values); err != nil {
+		return nil, err
+	}
+	if !conf.Valid(confidence) {
+		return nil, fmt.Errorf("relation: confidence %g outside [0,1]", confidence)
+	}
+	row := &BaseTuple{
+		Var:        x.cat.nextVar(),
+		Values:     values,
+		Confidence: confidence,
+		MaxConf:    1,
+		Cost:       fn,
+		created:    x.writeSeq,
+	}
+	slot := &versionSlot{}
+	slot.head.Store(row)
+	t.mu.Lock()
+	t.slots = append(t.slots, slot)
+	indexes := t.indexes
+	t.mu.Unlock()
+	x.cat.mu.Lock()
+	x.cat.byVar[row.Var] = slot
+	x.cat.mu.Unlock()
+	for _, ix := range indexes {
+		ix.addSlot(slot, row.Values[ix.column].Key())
+	}
+	x.undo = append(x.undo, undoRec{slot: slot, t: t, v: row.Var})
+	td := x.delta(t)
+	td.live++
+	td.mutated = true
+	x.rowsChanged = true
+	return row, nil
+}
+
+// Delete marks the rows of t matching pred deleted by pushing
+// tombstone versions: scans at and after the commit skip them, while
+// their lineage variables keep resolving — to confidence 0, reflecting
+// that the fact has been withdrawn. An evaluation error aborts the
+// whole operation with no partial effect once the caller rolls back.
+func (x *Txn) Delete(t *Table, pred Expr) (int, error) {
+	if x.done {
+		return 0, errTxnFinished
+	}
+	removed := 0
+	for _, slot := range t.snapshotSlots() {
+		b := slot.visibleAt(x.writeSeq)
+		if b == nil {
+			continue
+		}
+		if pred != nil {
+			ok, err := EvalBool(pred, rowTupleWithConfidence(b))
+			if err != nil {
+				return 0, fmt.Errorf("relation: DELETE predicate: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		tomb := &BaseTuple{
+			Var:       b.Var,
+			Values:    b.Values,
+			MaxConf:   0,
+			created:   x.writeSeq,
+			tombstone: true,
+		}
+		x.cow(slot, b, tomb)
+		x.delta(t).live--
+		x.markRows(t)
+		x.markConf(b.Var)
+		removed++
+	}
+	return removed, nil
+}
+
+// Update applies the assignments to every row of t matching pred via
+// copy-on-write versions and returns how many rows matched. Value
+// semantics (type coercion, confidence bounds) match Table.Insert and
+// Catalog.SetConfidence; any error aborts with no partial effect once
+// the caller rolls back.
+func (x *Txn) Update(t *Table, pred Expr, specs []UpdateSpec) (int, error) {
+	if x.done {
+		return 0, errTxnFinished
+	}
+	changed := 0
+	valuesTouched := false
+	for _, slot := range t.snapshotSlots() {
+		b := slot.visibleAt(x.writeSeq)
+		if b == nil {
+			continue
+		}
+		tuple := rowTupleWithConfidence(b)
+		if pred != nil {
+			ok, err := EvalBool(pred, tuple)
+			if err != nil {
+				return 0, fmt.Errorf("relation: UPDATE predicate: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		// Evaluate all assignments against the pre-update image first.
+		newValues := make([]Value, len(specs))
+		for i, spec := range specs {
+			v, err := spec.Value.Eval(tuple)
+			if err != nil {
+				return 0, fmt.Errorf("relation: UPDATE expression: %w", err)
+			}
+			newValues[i] = v
+		}
+		vals := append([]Value{}, b.Values...)
+		newConf := b.Confidence
+		confTouched := false
+		for i, spec := range specs {
+			v := newValues[i]
+			if spec.Column < 0 {
+				f, ok := v.AsFloat()
+				if !ok {
+					return 0, fmt.Errorf("relation: confidence update requires a numeric value, got %s", v.Type())
+				}
+				if f < 0 || f > b.MaxConf {
+					return 0, fmt.Errorf("relation: confidence %g outside [0,%g]", f, b.MaxConf)
+				}
+				newConf = f
+				confTouched = true
+				continue
+			}
+			if spec.Column >= t.schema.Len() {
+				return 0, fmt.Errorf("relation: UPDATE column index %d out of range", spec.Column)
+			}
+			want := t.schema.Columns[spec.Column].Type
+			if !v.IsNull() && v.Type() != want {
+				if want == TypeFloat && v.Type() == TypeInt {
+					f, _ := v.AsFloat()
+					v = Float(f)
+				} else {
+					return 0, fmt.Errorf("relation: UPDATE column %s expects %s, got %s",
+						t.schema.Columns[spec.Column].Name, want, v.Type())
+				}
+			}
+			vals[spec.Column] = v
+			valuesTouched = true
+		}
+		nv := &BaseTuple{
+			Var:        b.Var,
+			Values:     vals,
+			Confidence: newConf,
+			MaxConf:    b.MaxConf,
+			Cost:       b.Cost,
+			created:    x.writeSeq,
+		}
+		x.cow(slot, b, nv)
+		if confTouched {
+			x.markConf(b.Var)
+		}
+		changed++
+	}
+	if changed > 0 {
+		hasValueSpec := false
+		for _, spec := range specs {
+			if spec.Column >= 0 {
+				hasValueSpec = true
+				break
+			}
+		}
+		if hasValueSpec {
+			x.markRows(t)
+		}
+		if valuesTouched {
+			// Chain-aware rebuild: buckets index every version's key, so
+			// readers pinned before this commit still find their rows.
+			t.mu.RLock()
+			indexes := t.indexes
+			t.mu.RUnlock()
+			for _, ix := range indexes {
+				ix.rebuild()
+			}
+		}
+	}
+	return changed, nil
+}
+
+// SetConfidence updates a base tuple's confidence through a
+// copy-on-write version sharing the row's values. Growth toward
+// MaxConf is the normal PCQE path; lowering is allowed for
+// administrative correction but never below 0.
+func (x *Txn) SetConfidence(v lineage.Var, p float64) error {
+	if x.done {
+		return errTxnFinished
+	}
+	x.cat.mu.RLock()
+	slot := x.cat.byVar[v]
+	x.cat.mu.RUnlock()
+	var b *BaseTuple
+	if slot != nil {
+		b = slot.at(x.writeSeq)
+	}
+	if b == nil {
+		return fmt.Errorf("relation: unknown lineage variable %d", int(v))
+	}
+	if !conf.Valid(p) {
+		return fmt.Errorf("relation: confidence %g outside [0,1]", p)
+	}
+	if p > b.MaxConf {
+		return fmt.Errorf("relation: confidence %g exceeds tuple maximum %g", p, b.MaxConf)
+	}
+	nv := &BaseTuple{
+		Var:        b.Var,
+		Values:     b.Values,
+		Confidence: p,
+		MaxConf:    b.MaxConf,
+		Cost:       b.Cost,
+		created:    x.writeSeq,
+		tombstone:  b.tombstone,
+	}
+	x.cow(slot, b, nv)
+	x.markConf(v)
+	return nil
+}
+
+// ConfidenceOf resolves a variable's confidence at the transaction's
+// write sequence (reading the transaction's own writes).
+func (x *Txn) ConfidenceOf(v lineage.Var) (float64, bool) {
+	x.cat.mu.RLock()
+	slot := x.cat.byVar[v]
+	x.cat.mu.RUnlock()
+	if slot == nil {
+		return 0, false
+	}
+	b := slot.at(x.writeSeq)
+	if b == nil {
+		return 0, false
+	}
+	return b.Confidence, true
+}
+
+var errTxnFinished = fmt.Errorf("relation: transaction already finished")
+
+// Commit atomically publishes the transaction: the write sequence
+// becomes the new committed version in one atomic step, together with
+// the plan/confidence epoch bumps the mutations call for, and
+// registered confidence caches advance incrementally over the touched
+// variables. A transaction with no pending changes publishes nothing
+// and returns the read version. A fault injected at the
+// "relation.txn.commit" probe rolls the transaction back and surfaces
+// as an error — all-or-nothing either way.
+func (x *Txn) Commit() (version int64, err error) {
+	if x.done {
+		return 0, errTxnFinished
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			version = 0
+			err = fmt.Errorf("relation: transaction commit fault: %v", r)
+			if !x.done {
+				x.Rollback()
+			} else {
+				x.release()
+			}
+		}
+	}()
+	fault.Probe("relation.txn.commit")
+	c := x.cat
+	if len(x.undo) == 0 && !x.rowsChanged && !x.confChanged {
+		x.done = true
+		x.release()
+		return x.readSeq, nil
+	}
+	for _, td := range x.tables {
+		if td.live != 0 {
+			td.t.live.Add(td.live)
+		}
+		if td.mutated {
+			td.t.mutations.Add(1)
+		}
+	}
+	var prevConf, newConf int64
+	c.verMu.Lock()
+	if x.rowsChanged {
+		c.planEpoch.Add(1)
+	}
+	if x.confChanged {
+		prevConf = c.confEpoch.Load()
+		newConf = prevConf + 1
+		c.confEpoch.Store(newConf)
+	}
+	c.commitSeq.Store(x.writeSeq)
+	c.verMu.Unlock()
+	x.done = true
+	if x.confChanged {
+		// Still under the writer lock: registered caches see exactly the
+		// committed state and no later one.
+		c.advanceCaches(prevConf, newConf, x.confVars)
+	}
+	c.metrics.Load().Counter("relation.txn.commits").Inc()
+	x.release()
+	return x.writeSeq, nil
+}
+
+// Rollback unwinds every provisional version, restores superseded
+// chain heads, and removes provisionally inserted rows from their
+// tables and the variable registry. It is idempotent; after a Commit
+// it is a no-op.
+func (x *Txn) Rollback() {
+	if x.done {
+		return
+	}
+	x.done = true
+	defer x.release()
+	fault.Probe("relation.txn.rollback")
+	x.undoAll()
+	x.cat.metrics.Load().Counter("relation.txn.rollbacks").Inc()
+}
+
+func (x *Txn) undoAll() {
+	inserted := map[*Table]int{}
+	var insertedVars []lineage.Var
+	for i := len(x.undo) - 1; i >= 0; i-- {
+		u := x.undo[i]
+		if u.old != nil {
+			u.old.deleted.Store(0)
+			u.slot.head.Store(u.old)
+			continue
+		}
+		u.slot.head.Store(nil)
+		inserted[u.t]++
+		insertedVars = append(insertedVars, u.v)
+	}
+	if len(insertedVars) > 0 {
+		x.cat.mu.Lock()
+		for _, v := range insertedVars {
+			delete(x.cat.byVar, v)
+		}
+		x.cat.mu.Unlock()
+	}
+	for t, k := range inserted {
+		// Provisional inserts are the slice's suffix (this transaction was
+		// the only appender). Truncate through a fresh backing array:
+		// re-slicing in place would let the next transaction's appends
+		// write into cells concurrent readers captured.
+		t.mu.Lock()
+		n := len(t.slots) - k
+		ns := make([]*versionSlot, n)
+		copy(ns, t.slots[:n])
+		t.slots = ns
+		t.mu.Unlock()
+	}
+}

@@ -52,11 +52,15 @@ func ExecScript(cat *relation.Catalog, script string) ([]*Result, error) {
 func ExecStatement(cat *relation.Catalog, stmt Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		op, err := Plan(cat, s)
+		// One snapshot covers planning (subquery materialization) and
+		// execution: concurrent commits cannot tear the result.
+		snap := cat.Snapshot()
+		defer snap.Release()
+		op, err := PlanAt(cat, s, snap.Version())
 		if err != nil {
 			return nil, err
 		}
-		rows, err := relation.Run(op)
+		rows, err := relation.RunAt(op, snap.Version())
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +205,7 @@ func execDelete(cat *relation.Catalog, s *DeleteStmt) (*Result, error) {
 	}
 	var pred relation.Expr
 	if s.Where != nil {
-		where, err := resolveSubqueries(cat, s.Where)
+		where, err := resolveSubqueries(cat, s.Where, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -245,7 +249,7 @@ func execUpdate(cat *relation.Catalog, s *UpdateStmt) (*Result, error) {
 	}
 	var pred relation.Expr
 	if s.Where != nil {
-		where, err := resolveSubqueries(cat, s.Where)
+		where, err := resolveSubqueries(cat, s.Where, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -107,7 +107,7 @@ type joinNode struct {
 // planCostBased attempts a cost-based plan for the statement's
 // FROM+WHERE block. It returns (nil, nil) when the statement is outside
 // the supported fragment — the caller then uses the rule-based path.
-func planCostBased(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo) (relation.Operator, error) {
+func planCostBased(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, asOf int64) (relation.Operator, error) {
 	if len(stmt.Joins) == 0 {
 		return nil, nil // nothing to reorder
 	}
@@ -146,7 +146,7 @@ func planCostBased(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo) (rel
 	// conjuncts. IN-subqueries are materialized here, exactly as the
 	// rule-based path would.
 	var conjAST []ExprNode
-	where, err := resolveSubqueries(cat, stmt.Where)
+	where, err := resolveSubqueries(cat, stmt.Where, asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func planCostBased(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo) (rel
 		conjAST = flattenAnd(where)
 	}
 	for _, j := range stmt.Joins {
-		on, err := resolveSubqueries(cat, j.On)
+		on, err := resolveSubqueries(cat, j.On, asOf)
 		if err != nil {
 			return nil, err
 		}

@@ -12,10 +12,13 @@ import (
 // normalized fingerprint (see fingerprint.go). Operators are re-openable
 // by contract, so a cached tree is re-run directly — but a tree can bake
 // plan-time state in (materialized IN-subqueries, chosen index paths),
-// so every hit is validated against the catalog version, and against
-// the confidence epoch when the statement mentions _confidence. A tree
-// also holds run state, so an entry is checked out exclusively while it
-// runs; a concurrent query for the same key plans afresh.
+// so every hit is validated against the catalog's plan epoch (which
+// advances on DDL and row mutations but not on confidence-only commits,
+// so improvement-plan application keeps the hit rate intact), and
+// against the confidence epoch when the statement mentions
+// _confidence. A tree also holds run state, so an entry is checked out
+// exclusively while it runs; a concurrent query for the same key plans
+// afresh.
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -31,7 +34,7 @@ type planEntry struct {
 	op            relation.Operator
 	schema        *relation.Schema
 	info          *PlanInfo
-	version       int64
+	planEpoch     int64
 	confSensitive bool
 	confEpoch     int64
 	inUse         bool
@@ -79,29 +82,55 @@ func (pc *PlanCache) Query(cat *relation.Catalog, query string) ([]*relation.Tup
 }
 
 // QueryDetailed is Query, additionally returning the plan's metadata.
+// It takes its own snapshot; QueryDetailedSnap runs against a
+// caller-provided one.
 func (pc *PlanCache) QueryDetailed(cat *relation.Catalog, query string) ([]*relation.Tuple, *relation.Schema, *PlanInfo, error) {
+	snap := cat.Snapshot()
+	defer snap.Release()
+	return pc.QueryDetailedSnap(snap, query)
+}
+
+// QueryDetailedSnap parses, plans and runs a SQL string through the
+// cache against the snapshot's pinned version: cache validity is judged
+// by the snapshot's epochs, and the plan (cached or fresh) executes
+// pinned to the snapshot, so concurrent commits can neither invalidate
+// the answer mid-run nor leak newer rows into it.
+func (pc *PlanCache) QueryDetailedSnap(snap *relation.Snapshot, query string) ([]*relation.Tuple, *relation.Schema, *PlanInfo, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if snap.Historical() {
+		// Time-travel reads bypass the cache: a historical snapshot has
+		// no epoch counters to validate an entry against.
+		op, info, err := PlanDetailedAt(snap.Catalog(), stmt, snap.Version())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows, err := relation.RunAt(op, snap.Version())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return rows, op.Schema(), info, nil
+	}
 	shape, lits := fingerprintStmt(stmt)
 	key := cacheKey(shape, lits)
 
-	entry, cached := pc.checkout(cat, key)
+	entry, cached := pc.checkout(snap, key)
 	if !cached {
-		op, info, err := PlanDetailed(cat, stmt)
+		op, info, err := PlanDetailedAt(snap.Catalog(), stmt, snap.Version())
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		entry = &planEntry{
 			key: key, op: op, schema: op.Schema(), info: info,
-			version:       cat.Version(),
+			planEpoch:     snap.PlanEpoch(),
 			confSensitive: stmtTreeReferencesConfidence(stmt),
-			confEpoch:     cat.ConfEpoch(),
+			confEpoch:     snap.ConfEpoch(),
 			inUse:         true,
 		}
 	}
-	rows, err := relation.Run(entry.op)
+	rows, err := relation.RunAt(entry.op, snap.Version())
 	pc.release(entry, cached, err == nil)
 	if err != nil {
 		return nil, nil, nil, err
@@ -112,12 +141,12 @@ func (pc *PlanCache) QueryDetailed(cat *relation.Catalog, query string) ([]*rela
 // checkout looks the key up and, on a valid idle hit, marks the entry
 // in-use. Stale entries are dropped; busy or absent keys count as
 // misses.
-func (pc *PlanCache) checkout(cat *relation.Catalog, key string) (*planEntry, bool) {
+func (pc *PlanCache) checkout(snap *relation.Snapshot, key string) (*planEntry, bool) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	e, ok := pc.entries[key]
 	if ok {
-		stale := e.version != cat.Version() || (e.confSensitive && e.confEpoch != cat.ConfEpoch())
+		stale := e.planEpoch != snap.PlanEpoch() || (e.confSensitive && e.confEpoch != snap.ConfEpoch())
 		if stale && !e.inUse {
 			delete(pc.entries, key)
 			pc.order.Remove(e.elem)

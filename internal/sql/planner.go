@@ -32,13 +32,29 @@ func Plan(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
 	return op, err
 }
 
+// PlanAt is Plan with plan-time evaluation (IN-subquery
+// materialization) pinned to committed version asOf; asOf <= 0 uses
+// the latest committed state, like Plan. Scans in the returned tree
+// are not pinned — run it with relation.RunAt to pin the whole
+// execution.
+func PlanAt(cat *relation.Catalog, stmt *SelectStmt, asOf int64) (relation.Operator, error) {
+	op, _, err := PlanDetailedAt(cat, stmt, asOf)
+	return op, err
+}
+
 // PlanDetailed is Plan, additionally returning the planner's metadata
 // (cost annotations, lineage hint). Join order and access paths are
 // chosen by estimated cost where the statement shape allows it, falling
 // back to the rule-based statement-order plan otherwise.
 func PlanDetailed(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, *PlanInfo, error) {
+	return PlanDetailedAt(cat, stmt, 0)
+}
+
+// PlanDetailedAt is PlanDetailed pinned to committed version asOf for
+// plan-time evaluation (see PlanAt).
+func PlanDetailedAt(cat *relation.Catalog, stmt *SelectStmt, asOf int64) (relation.Operator, *PlanInfo, error) {
 	info := &PlanInfo{Notes: map[relation.Operator]string{}, LineageHint: lineageHint(stmt)}
-	op, err := planStmt(cat, stmt, info, true)
+	op, err := planStmt(cat, stmt, info, true, asOf)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -51,16 +67,16 @@ func PlanDetailed(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, *
 // rewrite. Kept as the differential baseline for the cost-based path.
 func PlanRuleBased(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
 	info := &PlanInfo{Notes: map[relation.Operator]string{}}
-	return planStmt(cat, stmt, info, false)
+	return planStmt(cat, stmt, info, false, 0)
 }
 
-func planStmt(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool) (relation.Operator, error) {
-	op, err := planSingle(cat, stmt, info, costBased)
+func planStmt(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool, asOf int64) (relation.Operator, error) {
+	op, err := planSingle(cat, stmt, info, costBased, asOf)
 	if err != nil {
 		return nil, err
 	}
 	for stmt.SetOp != SetNone {
-		right, err := planSingle(cat, stmt.Next, info, costBased)
+		right, err := planSingle(cat, stmt.Next, info, costBased, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -81,22 +97,33 @@ func planStmt(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased
 
 // Query parses, plans and runs a SQL string in one call.
 func Query(cat *relation.Catalog, query string) ([]*relation.Tuple, *relation.Schema, error) {
+	return queryAt(cat, query, 0)
+}
+
+// QuerySnap parses, plans and runs a SQL string against the snapshot's
+// pinned version: scans, index lookups, attached confidences and
+// materialized IN-subqueries all resolve at that one committed state.
+func QuerySnap(snap *relation.Snapshot, query string) ([]*relation.Tuple, *relation.Schema, error) {
+	return queryAt(snap.Catalog(), query, snap.Version())
+}
+
+func queryAt(cat *relation.Catalog, query string, asOf int64) ([]*relation.Tuple, *relation.Schema, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, nil, err
 	}
-	op, err := Plan(cat, stmt)
+	op, err := PlanAt(cat, stmt, asOf)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := relation.Run(op)
+	rows, err := relation.RunAt(op, asOf)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rows, op.Schema(), nil
 }
 
-func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool) (relation.Operator, error) {
+func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBased bool, asOf int64) (relation.Operator, error) {
 	var op relation.Operator
 	var err error
 
@@ -106,7 +133,7 @@ func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBas
 	// fragment; the rule-based path below then keeps the pre-existing
 	// semantics (including its error messages).
 	if costBased && !stmtReferencesConfidence(stmt) {
-		op, err = planCostBased(cat, stmt, info)
+		op, err = planCostBased(cat, stmt, info, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +142,7 @@ func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBas
 		}
 	}
 	if op == nil {
-		op, err = planFromWhere(cat, stmt)
+		op, err = planFromWhere(cat, stmt, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -173,18 +200,18 @@ func planSingle(cat *relation.Catalog, stmt *SelectStmt, info *PlanInfo, costBas
 
 // planFromWhere is the rule-based FROM+WHERE block: joins in statement
 // order, then AttachConfidence when referenced, then the WHERE filter.
-func planFromWhere(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, error) {
+func planFromWhere(cat *relation.Catalog, stmt *SelectStmt, asOf int64) (relation.Operator, error) {
 	// FROM clause: base table, then joins.
-	op, err := planTable(cat, stmt.From)
+	op, err := planTable(cat, stmt.From, asOf)
 	if err != nil {
 		return nil, err
 	}
 	for _, j := range stmt.Joins {
-		right, err := planTable(cat, j.Table)
+		right, err := planTable(cat, j.Table, asOf)
 		if err != nil {
 			return nil, err
 		}
-		on, err := resolveSubqueries(cat, j.On)
+		on, err := resolveSubqueries(cat, j.On, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +232,7 @@ func planFromWhere(cat *relation.Catalog, stmt *SelectStmt) (relation.Operator, 
 
 	// WHERE (IN-subqueries are materialized first; they must be
 	// uncorrelated — no references to the outer query's columns).
-	where, err := resolveSubqueries(cat, stmt.Where)
+	where, err := resolveSubqueries(cat, stmt.Where, asOf)
 	if err != nil {
 		return nil, err
 	}
@@ -304,11 +331,11 @@ func compileSortKeys(items []OrderItem, schema *relation.Schema) ([]relation.Sor
 	return keys, nil
 }
 
-func planTable(cat *relation.Catalog, tr TableRef) (relation.Operator, error) {
+func planTable(cat *relation.Catalog, tr TableRef, asOf int64) (relation.Operator, error) {
 	if tr.Sub != nil {
 		// Derived table: plan the subquery and re-qualify its output
 		// columns with the mandatory alias.
-		sub, err := Plan(cat, tr.Sub)
+		sub, err := PlanAt(cat, tr.Sub, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -347,9 +374,10 @@ func (e *resolvedIn) SQL() string {
 }
 
 // resolveSubqueries rewrites every IN (SELECT ...) under e into a
-// resolvedIn node by running the subquery. Subqueries must be
+// resolvedIn node by running the subquery at committed version asOf
+// (asOf <= 0: the latest committed state). Subqueries must be
 // uncorrelated and produce exactly one column. A nil input stays nil.
-func resolveSubqueries(cat *relation.Catalog, e ExprNode) (ExprNode, error) {
+func resolveSubqueries(cat *relation.Catalog, e ExprNode, asOf int64) (ExprNode, error) {
 	if e == nil {
 		return nil, nil
 	}
@@ -358,7 +386,7 @@ func resolveSubqueries(cat *relation.Catalog, e ExprNode) (ExprNode, error) {
 		if n.Sub == nil {
 			return n, nil
 		}
-		rows, schema, err := Query(cat, n.Sub.SQL())
+		rows, schema, err := queryAt(cat, n.Sub.SQL(), asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -374,11 +402,11 @@ func resolveSubqueries(cat *relation.Catalog, e ExprNode) (ExprNode, error) {
 		}
 		return &resolvedIn{Child: n.Child, Set: set, Negate: n.Negate, Label: "(" + n.Sub.SQL() + ")"}, nil
 	case *BinaryExpr:
-		l, err := resolveSubqueries(cat, n.Left)
+		l, err := resolveSubqueries(cat, n.Left, asOf)
 		if err != nil {
 			return nil, err
 		}
-		r, err := resolveSubqueries(cat, n.Right)
+		r, err := resolveSubqueries(cat, n.Right, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -389,7 +417,7 @@ func resolveSubqueries(cat *relation.Catalog, e ExprNode) (ExprNode, error) {
 		cp.Left, cp.Right = l, r
 		return &cp, nil
 	case *UnaryExpr:
-		c, err := resolveSubqueries(cat, n.Child)
+		c, err := resolveSubqueries(cat, n.Child, asOf)
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +428,7 @@ func resolveSubqueries(cat *relation.Catalog, e ExprNode) (ExprNode, error) {
 		cp.Child = c
 		return &cp, nil
 	case *IsNullExpr:
-		c, err := resolveSubqueries(cat, n.Child)
+		c, err := resolveSubqueries(cat, n.Child, asOf)
 		if err != nil {
 			return nil, err
 		}

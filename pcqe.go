@@ -138,6 +138,16 @@ type Value = relation.Value
 // Tuple is a row with lineage.
 type Tuple = relation.Tuple
 
+// Snapshot is an immutable read view of a catalog pinned to one
+// committed version (MVCC; see DESIGN.md §11). Take one with
+// Catalog.Snapshot or Catalog.SnapshotAt and Release it when done.
+type Snapshot = relation.Snapshot
+
+// Txn is a single-writer transaction over a catalog: all mutations
+// commit atomically or roll back without a trace. Open one with
+// Catalog.Begin.
+type Txn = relation.Txn
+
 // NewCatalog creates an empty database catalog.
 var NewCatalog = relation.NewCatalog
 
