@@ -11,11 +11,11 @@ check: vet lint build race mvcc-stress differential obs-smoke
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo's own static-invariant suite (cmd/pcqelint; see
-# DESIGN.md §7) and, when installed, golangci-lint with .golangci.yml.
-# golangci-lint is optional so hermetic environments still get the full
-# pcqelint gate.
-lint:
+# lint runs go vet, the repo's own static-invariant suite (cmd/pcqelint;
+# see DESIGN.md §7 and §12) and, when installed, golangci-lint with
+# .golangci.yml. golangci-lint is optional so hermetic environments
+# still get the full vet + pcqelint gate.
+lint: vet
 	$(GO) run ./cmd/pcqelint ./...
 	@if command -v golangci-lint >/dev/null 2>&1; then \
 		golangci-lint run ./...; \

@@ -33,6 +33,9 @@ func main() {
 		conf float64
 		rate float64
 	}
+	// One transaction loads the whole report batch: a single committed
+	// version instead of one commit per branch.
+	tx := cat.Begin()
 	for _, b := range []branch{
 		{"amsterdam", 2, 0.35, 40},
 		{"berlin", 0, 0.4, 25},
@@ -41,8 +44,11 @@ func main() {
 		{"essen", 3, 0.38, 35},
 		{"fukuoka", 0, 0.5, 20},
 	} {
-		audits.MustInsert(b.conf, pcqe.LinearCost{Rate: b.rate},
+		tx.MustInsert(audits, b.conf, pcqe.LinearCost{Rate: b.rate},
 			pcqe.String(b.name), pcqe.Int(b.irr))
+	}
+	if _, err := tx.Commit(); err != nil {
+		log.Fatal(err)
 	}
 
 	rbac := pcqe.NewRBAC()

@@ -103,8 +103,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Pin a snapshot so the Biba walk sees one committed version.
+	snap := cat.Snapshot()
+	defer snap.Release()
 	readable := 0
-	for i, row := range claims.Rows() {
+	for i, row := range claims.RowsAt(snap) {
 		obj := fmt.Sprintf("claim-%d", i)
 		must(biba.SetObject(obj, biba.LevelForConfidence(row.Confidence)))
 		if biba.CanRead("ada", obj) {

@@ -75,6 +75,9 @@ func main() {
 		value     float64
 		source    string
 	}
+	// One transaction loads the whole study: a single committed version
+	// instead of one commit per outcome row.
+	tx := cat.Begin()
 	for _, rs := range []rowSpec{
 		{"regA", "A", 12, "registry"},
 		{"survA", "A", 11.5, "survey"},
@@ -82,8 +85,11 @@ func main() {
 		{"regB", "B", 3, "registry"},
 		{"recB", "B", 9, "records"},
 	} {
-		outcomes.MustInsert(trust.Confidence[rs.item], costFor[rs.source],
+		tx.MustInsert(outcomes, trust.Confidence[rs.item], costFor[rs.source],
 			pcqe.String(rs.treatment), pcqe.Float(rs.value), pcqe.String(rs.source))
+	}
+	if _, err := tx.Commit(); err != nil {
+		log.Fatal(err)
 	}
 
 	// --- 3. Policies: hypothesis generation is lenient, treatment

@@ -1,11 +1,12 @@
 // Package analysis is a small, dependency-free reimplementation of the
 // go/analysis driver model (golang.org/x/tools is not vendored here) plus
-// the pcqelint suite: five analyzers that enforce PCQE's cross-cutting
+// the pcqelint suite: nine analyzers that enforce PCQE's cross-cutting
 // invariants — confidence-range discipline, solver checkpoint polling,
-// typed-error handling, audit-trail completeness, and plan buffer
-// ownership. The framework mirrors the upstream shape (Analyzer, Pass,
-// Diagnostic) closely enough that the analyzers could be ported to real
-// go/analysis by swapping this file and load.go.
+// typed-error handling, audit-trail completeness, plan buffer ownership,
+// snapshot-pinned reads, transactional mutation, shared-state freedom,
+// and policy-filter taint flow. The framework mirrors the upstream shape
+// (Analyzer, Pass, Diagnostic) closely enough that the analyzers could be
+// ported to real go/analysis by swapping this file and load.go.
 package analysis
 
 import (
@@ -31,6 +32,17 @@ type Analyzer struct {
 	// with one of these suffixes (a "/"-boundary match). Empty = every
 	// package.
 	Scope []string
+	// Exclude skips packages whose import path ends with one of these
+	// suffixes, with the same "/"-boundary matching as Scope. Exclusion
+	// wins over Scope: it carves the one package allowed to violate the
+	// invariant (e.g. internal/relation may read raw versions because it
+	// implements the version store) out of an otherwise-global check.
+	Exclude []string
+	// RequireJustification makes a //lint:allow comment for this analyzer
+	// suppress only when it carries a non-empty justification after the
+	// analyzer-name list. A bare allow is reported along with the
+	// original diagnostic.
+	RequireJustification bool
 	// Run reports diagnostics for one package through pass.Report.
 	Run func(pass *Pass) error
 }
@@ -45,8 +57,16 @@ type Pass struct {
 
 	// report receives diagnostics that survived suppression.
 	report func(Diagnostic)
-	// allow maps "file:line" to the set of analyzer names allowed there.
-	allow map[string]map[string]bool
+	// allow maps "file:line" to the per-analyzer suppressions in force
+	// on that line.
+	allow map[string]map[string]allowEntry
+}
+
+// allowEntry is one analyzer's suppression state on one line.
+type allowEntry struct {
+	// justified records whether the //lint:allow comment carried a
+	// free-form justification after the analyzer-name list.
+	justified bool
 }
 
 // Diagnostic is one finding.
@@ -60,100 +80,150 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Reportf records a diagnostic at pos unless a //lint:allow comment on
-// the same line or the line immediately above suppresses it.
+// suppression states for one diagnostic position.
+const (
+	allowNone        = iota // no matching allow: report
+	allowUnjustified        // matching allow lacks a required justification: report, with a hint
+	allowSuppressed         // matching (and sufficiently justified) allow: drop
+)
+
+// Reportf records a diagnostic at pos unless a //lint:allow comment
+// covering the same line or the line immediately above suppresses it.
+// For analyzers with RequireJustification, an allow without a
+// justification does not suppress; the diagnostic is reported with a
+// note naming the missing justification.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.suppressed(position) {
+	msg := fmt.Sprintf(format, args...)
+	switch p.suppression(position) {
+	case allowSuppressed:
 		return
+	case allowUnjustified:
+		msg += fmt.Sprintf(" [//lint:allow %s requires a justification after the analyzer name]", p.Analyzer.Name)
 	}
 	p.report(Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
+		Message:  msg,
 	})
 }
 
-func (p *Pass) suppressed(pos token.Position) bool {
+func (p *Pass) suppression(pos token.Position) int {
+	state := allowNone
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names, ok := p.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]; ok {
-			if names[p.Analyzer.Name] || names["all"] {
-				return true
+		set := p.allow[fmt.Sprintf("%s:%d", pos.Filename, line)]
+		for _, name := range []string{p.Analyzer.Name, "all"} {
+			entry, ok := set[name]
+			if !ok {
+				continue
 			}
+			if !p.Analyzer.RequireJustification || entry.justified {
+				return allowSuppressed
+			}
+			state = allowUnjustified
 		}
 	}
-	return false
+	return state
 }
 
 // allowRe matches suppression comments: //lint:allow name1,name2 [reason].
-var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,\- ]+)`)
+// The first whitespace-separated field after lint:allow is the
+// comma-separated analyzer list; everything after it is a free-form
+// justification.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,\-]+)(?:\s+(.*))?$`)
 
-// collectAllows indexes every //lint:allow comment by file:line. A
-// suppression covers diagnostics on every line of its comment group
-// (trailing comment, or a multi-line justification) plus the line
-// directly below the group (standalone comment above the statement).
-func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
-	allow := map[string]map[string]bool{}
+// collectAllows indexes every //lint:allow comment by file:line. Each
+// allow comment covers diagnostics from its own line through the line
+// directly below its comment group (trailing comment, or a standalone
+// comment — possibly with a multi-line justification continuing the
+// group — above the statement). Attribution is per comment, not per
+// group: an allow never reaches lines above itself, so one group
+// holding allows for several analyzers cannot cross-silence earlier
+// lines. Names not in known are reported instead of indexed — a typo'd
+// analyzer name suppresses nothing and must not pass silently.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[string]map[string]allowEntry, []Diagnostic) {
+	allow := map[string]map[string]allowEntry{}
+	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
-			var names []string
+			end := fset.Position(cg.End())
 			for _, c := range cg.List {
 				m := allowRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				// The first whitespace-separated field after lint:allow is
-				// the comma-separated analyzer list; the rest is a free-form
-				// justification.
-				fields := strings.Fields(m[1])
-				if len(fields) > 0 {
-					names = append(names, strings.Split(fields[0], ",")...)
-				}
-			}
-			if len(names) == 0 {
-				continue
-			}
-			start := fset.Position(cg.Pos())
-			end := fset.Position(cg.End())
-			for line := start.Line; line <= end.Line+1; line++ {
-				key := fmt.Sprintf("%s:%d", start.Filename, line)
-				set := allow[key]
-				if set == nil {
-					set = map[string]bool{}
-					allow[key] = set
-				}
-				for _, n := range names {
-					if n = strings.TrimSpace(n); n != "" {
-						set[n] = true
+				justified := strings.TrimSpace(m[2]) != ""
+				pos := fset.Position(c.Pos())
+				for _, n := range strings.Split(m[1], ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if known != nil && !known[n] {
+						bad = append(bad, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint-allow",
+							Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q; the suppression has no effect", n),
+						})
+						continue
+					}
+					for line := pos.Line; line <= end.Line+1; line++ {
+						key := fmt.Sprintf("%s:%d", pos.Filename, line)
+						set := allow[key]
+						if set == nil {
+							set = map[string]allowEntry{}
+							allow[key] = set
+						}
+						if prev, ok := set[n]; !ok || (justified && !prev.justified) {
+							set[n] = allowEntry{justified: justified}
+						}
 					}
 				}
 			}
 		}
 	}
-	return allow
+	return allow, bad
 }
 
 // inScope reports whether a package import path matches the analyzer's
-// Scope. Suffixes match at "/" boundaries: "internal/strategy" matches
-// "pcqe/internal/strategy" but not "pcqe/internal/strategy2".
+// Scope and is not carved out by Exclude. Suffixes match at "/"
+// boundaries: "internal/strategy" matches "pcqe/internal/strategy" but
+// not "pcqe/internal/strategy2".
 func (a *Analyzer) inScope(path string) bool {
+	for _, suf := range a.Exclude {
+		if suffixMatch(path, suf) {
+			return false
+		}
+	}
 	if len(a.Scope) == 0 {
 		return true
 	}
 	for _, suf := range a.Scope {
-		if path == suf || strings.HasSuffix(path, "/"+suf) {
+		if suffixMatch(path, suf) {
 			return true
 		}
 	}
 	return false
 }
 
+func suffixMatch(path, suf string) bool {
+	return path == suf || strings.HasSuffix(path, "/"+suf)
+}
+
 // Run applies the analyzers to the loaded packages and returns all
 // diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// Valid suppression targets: the analyzers in this run, the full
+	// suite (a scoped run must not flag another analyzer's allows as
+	// unknown), and the "all" wildcard.
+	known := KnownAnalyzerNames()
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allow := collectAllows(pkg.Fset, pkg.Files)
+		allow, bad := collectAllows(pkg.Fset, pkg.Files, known)
+		diags = append(diags, bad...)
 		for _, a := range analyzers {
 			if !a.inScope(pkg.Path) {
 				continue

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"os"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -110,6 +112,22 @@ func TestPlanaliasFixture(t *testing.T) {
 	runFixture(t, "./src/planalias", Planalias())
 }
 
+func TestSnapdisciplineFixture(t *testing.T) {
+	runFixture(t, "./src/snapdiscipline", Snapdiscipline())
+}
+
+func TestTxnmutateFixture(t *testing.T) {
+	runFixture(t, "./src/txnmutate", Txnmutate())
+}
+
+func TestSharedstateFixture(t *testing.T) {
+	runFixture(t, "./src/sharedstate", Sharedstate())
+}
+
+func TestPolicyflowFixture(t *testing.T) {
+	runFixture(t, "./src/policyflow", Policyflow())
+}
+
 // TestScopeRestriction pins the Scope contract: a scoped analyzer skips
 // packages outside its suffix list, at "/" boundaries.
 func TestScopeRestriction(t *testing.T) {
@@ -153,6 +171,53 @@ func TestSuppressionIsPerAnalyzer(t *testing.T) {
 	}
 }
 
+// TestAllowAttributionIsPerComment pins the suppression-scoping fix:
+// when a trailing //lint:allow and a next-line //lint:allow merge into
+// one comment group, each allow covers only from its own line down —
+// the second comment must not reach back up and silence the first line
+// for its analyzer. It also pins that a typo'd analyzer name is
+// reported instead of silently suppressing nothing.
+func TestAllowAttributionIsPerComment(t *testing.T) {
+	pkgs, err := Load("testdata", "./src/allowscope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(name string) *Analyzer {
+		return &Analyzer{
+			Name: name,
+			Doc:  "reports every call statement",
+			Run: func(pass *Pass) error {
+				for _, f := range pass.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						if call, ok := n.(*ast.CallExpr); ok {
+							pass.Reportf(call.Pos(), "call site")
+						}
+						return true
+					})
+				}
+				return nil
+			},
+		}
+	}
+	diags := Run(pkgs, []*Analyzer{probe("probe1"), probe("probe2")})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s@%d", d.Analyzer, d.Pos.Line))
+	}
+	// mark1() in shapes() sits on line 11 with a trailing allow for
+	// probe1 only; the probe2 allow on line 12 covers mark2() on line 13
+	// (and, via the merged group, so does probe1's). unknown()'s body
+	// call on line 18 is uncovered for both probes, and the typo'd
+	// nosuchcheck allow on line 17 is itself reported.
+	want := []string{"lint-allow@17", "probe2@11", "probe1@18", "probe2@18"}
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+}
+
 // TestRepoIsLintClean runs the full suite over this repository — the
 // same gate CI applies. A regression in any swept file (re-introducing
 // an inline epsilon, dropping a checkpoint, %v-wrapping a typed error)
@@ -174,31 +239,49 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the suite composition and scopes documented in
-// DESIGN.md §7.
+// TestSuiteShape pins the suite composition, scopes and exclusions
+// documented in DESIGN.md §7 and §12.
 func TestSuiteShape(t *testing.T) {
 	suite := Suite()
-	want := map[string][]string{
-		"confrange":     nil,
-		"ctxpoll":       {"internal/strategy", "internal/lineage"},
-		"errdiscipline": nil,
-		"auditemit":     {"internal/core"},
-		"planalias":     {"internal/strategy", "internal/core"},
+	type shape struct {
+		scope   []string
+		exclude []string
+		justify bool
+	}
+	want := map[string]shape{
+		"confrange":      {},
+		"ctxpoll":        {scope: []string{"internal/strategy", "internal/lineage"}},
+		"errdiscipline":  {},
+		"auditemit":      {scope: []string{"internal/core"}},
+		"planalias":      {scope: []string{"internal/strategy", "internal/core"}},
+		"snapdiscipline": {exclude: []string{"internal/relation"}},
+		"txnmutate":      {},
+		"sharedstate":    {scope: []string{"internal/core", "internal/sql", "internal/strategy", "internal/relation"}},
+		"policyflow":     {scope: []string{"internal/core"}, justify: true},
 	}
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
 	}
 	for _, a := range suite {
-		scope, ok := want[a.Name]
+		w, ok := want[a.Name]
 		if !ok {
 			t.Errorf("unexpected analyzer %q", a.Name)
 			continue
 		}
-		if fmt.Sprint(a.Scope) != fmt.Sprint(scope) {
-			t.Errorf("%s scope = %v, want %v", a.Name, a.Scope, scope)
+		if fmt.Sprint(a.Scope) != fmt.Sprint(w.scope) {
+			t.Errorf("%s scope = %v, want %v", a.Name, a.Scope, w.scope)
+		}
+		if fmt.Sprint(a.Exclude) != fmt.Sprint(w.exclude) {
+			t.Errorf("%s exclude = %v, want %v", a.Name, a.Exclude, w.exclude)
+		}
+		if a.RequireJustification != w.justify {
+			t.Errorf("%s RequireJustification = %v, want %v", a.Name, a.RequireJustification, w.justify)
 		}
 		if a.Doc == "" {
 			t.Errorf("%s has no doc", a.Name)
+		}
+		if !KnownAnalyzerNames()[a.Name] {
+			t.Errorf("%s missing from KnownAnalyzerNames", a.Name)
 		}
 	}
 }

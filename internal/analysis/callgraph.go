@@ -2,13 +2,18 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
 // callGraph is the package-local static call graph. Nodes are function
 // declarations plus function literals bound to a local variable
-// (`gainOf := func(...) {...}`), keyed by types.Object identity. Calls
-// through interfaces or unresolvable function values are not edges —
+// (`gainOf := func(...) {...}`), a package-level var, or a
+// function-typed struct field (`s.fn = func(...) {...}`, `T{fn: ...}`),
+// keyed by types.Object identity. Method values (`f := x.Solve`) alias
+// the variable to the method, and calls through an interface method
+// fan out to every same-package concrete implementation (a class
+// hierarchy analysis). Calls that remain unresolvable are not edges —
 // the analyzers that use this accept the under-approximation and
 // provide //lint:allow as the escape hatch.
 type callGraph struct {
@@ -16,57 +21,95 @@ type callGraph struct {
 	callees map[types.Object][]types.Object
 	callers map[types.Object][]types.Object
 	decls   map[types.Object]*ast.FuncDecl
+	// aliases maps a function-typed variable or field to the declared
+	// function or method it was bound to (`f := x.Solve`).
+	aliases map[types.Object]types.Object
 }
 
-// buildCallGraph indexes every function declaration and var-bound
-// function literal in the pass's package, and the direct same-package
-// calls each body makes.
+// buildCallGraph indexes every function declaration and bound function
+// literal in the pass's package, and the same-package calls each body
+// makes — direct, through bound variables/fields, and through
+// interface dispatch to local implementations.
 func buildCallGraph(pass *Pass) *callGraph {
 	g := &callGraph{
 		bodies:  map[types.Object]*ast.BlockStmt{},
 		callees: map[types.Object][]types.Object{},
 		callers: map[types.Object][]types.Object{},
 		decls:   map[types.Object]*ast.FuncDecl{},
+		aliases: map[types.Object]types.Object{},
 	}
+	// Pass 1: register declared functions and package-level function
+	// literals, so later binding passes can alias into them regardless
+	// of declaration order.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[d.Name]; obj != nil {
+					g.bodies[obj] = d.Body
+					g.decls[obj] = d
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							break
+						}
+						if lit, ok := vs.Values[i].(*ast.FuncLit); ok {
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								g.bodies[obj] = lit.Body
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Pass 2: bind literals and method/function values reached through
+	// assignments and composite literals inside declared bodies.
+	// Reassigned targets keep their first binding — good enough for the
+	// lint use case.
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			obj := pass.TypesInfo.Defs[fd.Name]
-			if obj == nil {
-				continue
-			}
-			g.bodies[obj] = fd.Body
-			g.decls[obj] = fd
-			// Bind `name := func(...) {...}` literals to their variable, so
-			// calls through the variable resolve. Reassigned variables keep
-			// their first literal — good enough for the lint use case.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				assign, ok := n.(*ast.AssignStmt)
-				if !ok {
-					return true
-				}
-				for i, lhs := range assign.Lhs {
-					if i >= len(assign.Rhs) {
-						break
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						target := bindTarget(pass, lhs)
+						if target == nil {
+							continue
+						}
+						g.bind(target, pass, n.Rhs[i])
 					}
-					id, ok := lhs.(*ast.Ident)
-					if !ok {
-						continue
-					}
-					lit, ok := assign.Rhs[i].(*ast.FuncLit)
-					if !ok {
-						continue
-					}
-					vobj := pass.TypesInfo.Defs[id]
-					if vobj == nil {
-						vobj = pass.TypesInfo.Uses[id]
-					}
-					if vobj != nil {
-						if _, seen := g.bodies[vobj]; !seen {
-							g.bodies[vobj] = lit.Body
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if field, ok := pass.TypesInfo.Uses[key].(*types.Var); ok {
+							g.bind(field, pass, kv.Value)
 						}
 					}
 				}
@@ -74,32 +117,92 @@ func buildCallGraph(pass *Pass) *callGraph {
 			})
 		}
 	}
+	// Pass 3: edges.
 	for obj, body := range g.bodies {
 		seen := map[types.Object]bool{}
+		caller := obj
+		addEdge := func(callee types.Object) {
+			if callee == nil || callee == caller || seen[callee] {
+				return
+			}
+			if _, local := g.bodies[callee]; !local {
+				return
+			}
+			seen[callee] = true
+			g.callees[caller] = append(g.callees[caller], callee)
+			g.callers[callee] = append(g.callers[callee], caller)
+		}
 		ast.Inspect(body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
 			callee := calleeObject(pass, call)
-			if callee == nil || callee == obj || seen[callee] {
+			if callee == nil {
 				return true
 			}
-			if _, local := g.bodies[callee]; !local {
-				return true
+			if target, ok := g.aliases[callee]; ok {
+				callee = target
 			}
-			seen[callee] = true
-			g.callees[obj] = append(g.callees[obj], callee)
-			g.callers[callee] = append(g.callers[callee], obj)
+			if f, ok := callee.(*types.Func); ok {
+				if impls := g.interfaceImpls(f); impls != nil {
+					for _, impl := range impls {
+						addEdge(impl)
+					}
+					return true
+				}
+			}
+			addEdge(callee)
 			return true
 		})
 	}
 	return g
 }
 
+// bindTarget resolves an assignment LHS to a bindable object: a local
+// or package variable, or a struct field selected on any expression.
+func bindTarget(pass *Pass, lhs ast.Expr) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Defs[lhs]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[lhs]
+	case *ast.SelectorExpr:
+		if obj, ok := pass.TypesInfo.Uses[lhs.Sel].(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// bind records what a variable or field holds: a function literal's
+// body, or an alias to a declared function/method (a method value or a
+// plain function value).
+func (g *callGraph) bind(target types.Object, pass *Pass, rhs ast.Expr) {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.FuncLit:
+		if _, seen := g.bodies[target]; !seen {
+			g.bodies[target] = rhs.Body
+		}
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[rhs].(*types.Func); ok {
+			if _, seen := g.aliases[target]; !seen {
+				g.aliases[target] = f
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[rhs.Sel].(*types.Func); ok {
+			if _, seen := g.aliases[target]; !seen {
+				g.aliases[target] = f
+			}
+		}
+	}
+}
+
 // calleeObject resolves the called function (or function-typed
-// variable) of a call expression, or nil for builtins, conversions and
-// unresolvable dynamic calls.
+// variable/field) of a call expression, or nil for builtins,
+// conversions and unresolvable dynamic calls.
 func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -110,11 +213,50 @@ func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
 			return obj
 		}
 	case *ast.SelectorExpr:
-		if obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+		switch obj := pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return obj
+		case *types.Var:
+			// A function-typed field or qualified package var.
 			return obj
 		}
 	}
 	return nil
+}
+
+// interfaceImpls expands an interface method to the same-package
+// concrete methods that can be behind it: every declared method with
+// the same name whose receiver type (or its pointer) implements the
+// interface. Returns nil when f is not an interface method.
+func (g *callGraph) interfaceImpls(f *types.Func) []types.Object {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	impls := []types.Object{}
+	for obj := range g.bodies {
+		m, ok := obj.(*types.Func)
+		if !ok || m.Name() != f.Name() {
+			continue
+		}
+		msig, ok := m.Type().(*types.Signature)
+		if !ok || msig.Recv() == nil {
+			continue
+		}
+		recv := msig.Recv().Type()
+		if types.Implements(recv, iface) {
+			impls = append(impls, obj)
+			continue
+		}
+		if _, isPtr := recv.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(recv), iface) {
+			impls = append(impls, obj)
+		}
+	}
+	return impls
 }
 
 // markTransitive computes the least fixpoint of "direct(body) or body
@@ -149,8 +291,9 @@ func (g *callGraph) markTransitive(direct func(body *ast.BlockStmt) bool) map[ty
 // coveredByCallers computes the greatest fixpoint of "marked(F), or F
 // has callers and every caller is covered": a function whose obligation
 // is discharged on every inbound call path within the package. Used by
-// auditemit, where a helper that sets Response.Degraded is fine as long
-// as each of its callers records the audit event.
+// auditemit and policyflow, where a helper that sets Response.Degraded
+// (or consumes withheld rows) is fine as long as each of its callers
+// discharged the obligation.
 func (g *callGraph) coveredByCallers(marked map[types.Object]bool) map[types.Object]bool {
 	covered := map[types.Object]bool{}
 	for obj := range g.bodies {

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sharedstate returns the sharedstate analyzer. The ROADMAP's
+// wire-protocol server needs engine state to be shareable across
+// concurrent sessions: no globals, explicit catalog handles. That is a
+// whole-package property, so it is enforced structurally — the engine
+// packages (core, sql, strategy, relation) may not declare
+// package-level variables or init functions at all. Two shapes are
+// exempt because they are immutable by construction:
+//
+//   - blank interface-conformance pins (var _ Iface = (*T)(nil));
+//   - error sentinels (an Err*/err*-named variable of an error type),
+//     which are assigned once and only compared against.
+//
+// Anything else — keyword maps, registries, caches, counters — either
+// moves into a struct reachable from a Catalog/Engine handle, becomes a
+// pure function, or takes a //lint:allow sharedstate with the reason it
+// cannot race.
+func Sharedstate(scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "sharedstate",
+		Doc:   "engine packages declare no package-level mutable state: no vars (except blank conformance pins and error sentinels) and no init functions",
+		Scope: scope,
+		Run:   runSharedstate,
+	}
+}
+
+func runSharedstate(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == "init" {
+					pass.Reportf(d.Pos(), "func init hides package-level initialization state; construct it explicitly on the Catalog/Engine handle so sessions stay shareable")
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "_" {
+							continue // interface-conformance pin
+						}
+						if obj := pass.TypesInfo.Defs[name]; obj != nil && isErrorSentinel(name.Name, obj.Type()) {
+							continue
+						}
+						pass.Reportf(name.Pos(), "package-level var %s is shared mutable state; a concurrent server cannot share this package — move it into a struct field, make it a function, or const it", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isErrorSentinel reports whether a package-level variable is an error
+// sentinel: Err/err-prefixed and of a type implementing error. These
+// are write-once and compared by identity (errors.Is), so they carry no
+// shareable-state hazard.
+func isErrorSentinel(name string, t types.Type) bool {
+	if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+		return false
+	}
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}

@@ -10,7 +10,15 @@ package analysis
 //   - auditemit runs on the engine, the only layer allowed to make
 //     degradation decisions;
 //   - planalias runs where Plan/Instance snapshots are produced and
-//     consumed.
+//     consumed;
+//   - snapdiscipline runs everywhere except internal/relation (which
+//     implements the version store): all relation reads pin a snapshot;
+//   - txnmutate runs everywhere: versioned-state mutation stays inside
+//     the Txn protocol, and batches never auto-commit per row;
+//   - sharedstate runs on the engine packages the wire-protocol server
+//     will need to share: no package-level mutable state;
+//   - policyflow runs on the engine, the only layer that builds
+//     Responses: every released-tuple path consults the β filter.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Confrange(),
@@ -18,5 +26,21 @@ func Suite() []*Analyzer {
 		Errdiscipline(),
 		Auditemit("internal/core"),
 		Planalias("internal/strategy", "internal/core"),
+		Snapdiscipline("internal/relation"),
+		Txnmutate(),
+		Sharedstate("internal/core", "internal/sql", "internal/strategy", "internal/relation"),
+		Policyflow("internal/core"),
 	}
+}
+
+// KnownAnalyzerNames returns the valid //lint:allow targets: every
+// suite analyzer plus the "all" wildcard. collectAllows reports allow
+// comments naming anything else — a typo'd name suppresses nothing and
+// must not sit in the tree looking like it does.
+func KnownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"all": true}
+	for _, a := range Suite() {
+		names[a.Name] = true
+	}
+	return names
 }

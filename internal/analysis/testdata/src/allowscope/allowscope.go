@@ -1,0 +1,19 @@
+// Package allowscope fixtures: //lint:allow attribution is per comment,
+// not per comment group. The two allow comments below form ONE comment
+// group (a trailing comment directly followed by a line comment), and
+// probe2's allow must not reach back up to the mark1 line.
+package allowscope
+
+func mark1() {}
+func mark2() {}
+
+func shapes() {
+	mark1() //lint:allow probe1 first line takes probe1 only
+	//lint:allow probe2 second line takes probe2 only
+	mark2()
+}
+
+func unknown() {
+	//lint:allow nosuchcheck typo'd analyzer names must be reported
+	mark1()
+}

@@ -1,0 +1,55 @@
+// Package callgraph fixtures: binding shapes the package call graph
+// must resolve — direct calls, method values, interface dispatch, and
+// function-typed fields.
+package callgraph
+
+// sentinel is the property-bearing call the tests mark.
+func sentinel() int { return 1 }
+
+// plain reaches sentinel directly; helper is covered through it.
+func plain() int { return sentinel() + helper() }
+
+// helper contains no sentinel call; its only caller is plain.
+func helper() int { return 0 }
+
+// orphan reaches nothing and is called by nothing.
+func orphan() int { return 0 }
+
+type Solver interface{ Solve() int }
+
+type Greedy struct{}
+
+func (Greedy) Solve() int { return sentinel() }
+
+type Exact struct{}
+
+func (*Exact) Solve() int { return 2 }
+
+// viaInterface dispatches through the interface: class-hierarchy
+// analysis fans out to both local implementations.
+func viaInterface(s Solver) int { return s.Solve() }
+
+// viaMethodValue binds a method value and calls through the variable.
+func viaMethodValue(g Greedy) int {
+	f := g.Solve
+	return f()
+}
+
+type runner struct{ fn func() int }
+
+// viaField binds a literal to a function-typed field in a composite
+// literal and calls through the field.
+func viaField() int {
+	r := runner{fn: func() int { return sentinel() }}
+	return r.fn()
+}
+
+type pipeline struct{ step func() int }
+
+// viaAssignedField binds a declared function to a field by assignment;
+// plain is property-bearing (it calls sentinel), so the alias edge must
+// carry the mark through.
+func viaAssignedField(p *pipeline) int {
+	p.step = plain
+	return p.step()
+}

@@ -1,0 +1,113 @@
+// Package policyflow fixtures: every tuple-emitting path consults the
+// β policy filter first.
+package policyflow
+
+// Miniature shapes of the engine surface the analyzer keys on.
+
+type Tuple struct{ Confidence float64 }
+
+type Store struct{}
+
+func (s *Store) Threshold(user, purpose string) float64 { return 0.5 }
+
+type Response struct {
+	Released []*Tuple
+	Withheld []*Tuple
+}
+
+// filtered is the canonical compliant path: resolve β, split rows.
+func filtered(st *Store, user, purpose string, rows []*Tuple) *Response {
+	beta := st.Threshold(user, purpose)
+	resp := &Response{}
+	for _, t := range rows {
+		if t.Confidence >= beta {
+			resp.Released = append(resp.Released, t)
+		} else {
+			resp.Withheld = append(resp.Withheld, t)
+		}
+	}
+	return resp
+}
+
+// emit writes Released without filtering, but its only caller is
+// filteredDelegator, which resolved β: covered, clean.
+func emit(resp *Response, rows []*Tuple) {
+	resp.Released = rows
+}
+
+// filteredDelegator discharges the obligation before delegating.
+func filteredDelegator(st *Store, rows []*Tuple) *Response {
+	_ = st.Threshold("u", "p")
+	resp := &Response{}
+	emit(resp, rows)
+	return resp
+}
+
+// viaHelper reaches Threshold transitively through filterHelper:
+// marked, clean.
+func viaHelper(st *Store, rows []*Tuple) *Response {
+	beta := filterHelper(st)
+	if len(rows) > 0 && rows[0].Confidence < beta {
+		return &Response{Withheld: rows}
+	}
+	return &Response{Released: rows}
+}
+
+func filterHelper(st *Store) float64 {
+	return st.Threshold("u", "p")
+}
+
+// leakAssign emits rows without any reachable Threshold call.
+func leakAssign(resp *Response, rows []*Tuple) {
+	resp.Released = rows // want `Response.Released is written on a path that never consults the β policy filter`
+}
+
+// leakComposite builds a populated Response without filtering.
+func leakComposite(rows []*Tuple) *Response {
+	return &Response{Released: rows} // want `Response.Released is populated on a path that never consults the β policy filter`
+}
+
+// leakWithheld aggregates confidential withheld rows unfiltered.
+func leakWithheld(resp *Response) float64 {
+	max := 0.0
+	for _, t := range resp.Withheld { // want `Response.Withheld is read on a path that never consults the β policy filter`
+		if t.Confidence > max {
+			max = t.Confidence
+		}
+	}
+	return max
+}
+
+// auditCount only counts withheld rows: len() discloses nothing, clean.
+func auditCount(resp *Response) int {
+	return len(resp.Withheld)
+}
+
+// nilReset clears Released: a nil composite value is not a disclosure.
+func nilReset() *Response {
+	return &Response{Released: nil}
+}
+
+// bareAllow carries no justification: still reported, with the hint.
+func bareAllow(resp *Response, rows []*Tuple) {
+	//lint:allow policyflow
+	resp.Released = rows // want `never consults the β policy filter \(Store.Threshold\).*\[//lint:allow policyflow requires a justification after the analyzer name\]`
+}
+
+// justifiedAllow is the documented trusted position: suppressed, clean.
+func justifiedAllow(resp *Response, rows []*Tuple) {
+	//lint:allow policyflow fixture: operator-only debug surface behind admin auth
+	resp.Released = rows
+}
+
+// report is a lookalike type: its Released field is not the engine
+// Response surface, so writes to it are clean.
+type report struct {
+	Released []string
+	Withheld []string
+}
+
+func lookalike(r *report, names []string) int {
+	r.Released = names
+	return len(r.Withheld)
+}

@@ -1,0 +1,53 @@
+// Package sharedstate fixtures: engine packages declare no
+// package-level mutable state.
+package sharedstate
+
+import "errors"
+
+// Error sentinels are write-once and compared by identity: clean.
+var ErrNotFound = errors.New("not found")
+var errClosed = errors.New("closed")
+
+// Interface-conformance pins are blank and immutable: clean.
+var _ Runner = (*job)(nil)
+
+type Runner interface{ Run() }
+
+type job struct{}
+
+func (*job) Run() {}
+
+// Constants carry no state: clean.
+const maxSessions = 16
+
+// A registry map is the canonical violation.
+var registry = map[string]Runner{} // want `package-level var registry is shared mutable state`
+
+// Grouped declarations are flagged per name.
+var (
+	hits    int64               // want `package-level var hits is shared mutable state`
+	lastTag string              // want `package-level var lastTag is shared mutable state`
+	ErrBad  = errors.New("bad") // sentinel inside a group: clean
+)
+
+// An Err-prefixed non-error is NOT a sentinel.
+var ErrCount int // want `package-level var ErrCount is shared mutable state`
+
+// init hides construction-order state.
+func init() { // want `func init hides package-level initialization state`
+	registry["job"] = &job{}
+}
+
+// A method named init is not the package hook: clean.
+type boot struct{}
+
+func (boot) init() {}
+
+// allowed documents a deliberate global.
+//
+//lint:allow sharedstate fixture: process-wide feature gate, set before serving
+var featureGate bool
+
+func use() (Runner, bool, int64) { return registry["job"], featureGate, hits }
+
+func touch(tag string) { lastTag = tag; _ = errClosed; _ = ErrBad; _ = ErrCount }

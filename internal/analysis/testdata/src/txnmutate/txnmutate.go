@@ -1,0 +1,154 @@
+// Package txnmutate fixtures: versioned-state mutation stays inside the
+// Txn protocol.
+package txnmutate
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Miniature shapes of the MVCC layer the analyzer keys on.
+
+type BaseTuple struct {
+	Var        int64
+	Values     []int
+	Confidence float64
+	MaxConf    float64
+	Cost       float64
+}
+
+type versionSlot struct{ head atomic.Pointer[BaseTuple] }
+
+type Catalog struct {
+	verMu     sync.Mutex
+	commitSeq atomic.Int64
+	planEpoch atomic.Int64
+	confEpoch atomic.Int64
+}
+
+type Table struct{ cat *Catalog }
+
+func (t *Table) Insert(values []int, confidence float64) (*BaseTuple, error) {
+	return nil, nil
+}
+func (t *Table) MustInsert(confidence float64, values ...int) *BaseTuple { return nil }
+func (t *Table) Delete(pred func(*BaseTuple) bool) (int, error)          { return 0, nil }
+func (t *Table) Update(pred func(*BaseTuple) bool) (int, error)          { return 0, nil }
+
+func (c *Catalog) SetConfidence(v int64, p float64) error { return nil }
+func (c *Catalog) Begin() *Txn                            { return &Txn{cat: c} }
+
+type Txn struct {
+	cat      *Catalog
+	writeSeq int64
+}
+
+// cow inside a Txn method is the protocol: clean.
+func (x *Txn) cow(slot *versionSlot, old, nv *BaseTuple) {
+	slot.head.Store(nv)
+}
+
+// SetConfidence on the Txn is the protocol: clean, including in loops.
+func (x *Txn) SetConfidence(v int64, p float64) error { return nil }
+
+// Insert stores a fresh head inside a Txn method: clean.
+func (x *Txn) Insert(t *Table, values []int) *BaseTuple {
+	row := &BaseTuple{Values: values}
+	slot := &versionSlot{}
+	slot.head.Store(row)
+	return row
+}
+
+// Commit publishes the version-counter triple under verMu: clean.
+func (x *Txn) Commit() int64 {
+	c := x.cat
+	c.verMu.Lock()
+	c.planEpoch.Add(1)
+	c.confEpoch.Store(1)
+	c.commitSeq.Store(x.writeSeq)
+	c.verMu.Unlock()
+	return x.writeSeq
+}
+
+// rogueStore publishes a chain version outside any Txn method.
+func rogueStore(slot *versionSlot, nv *BaseTuple) {
+	slot.head.Store(nv) // want `slot.head.Store outside a Txn method`
+}
+
+// rogueCow reaches the cow helper from outside the transaction.
+func rogueCow(x *Txn, slot *versionSlot, old, nv *BaseTuple) {
+	x.cow(slot, old, nv) // want `cow publishes a provisional version outside a Txn method`
+}
+
+// rogueCounters writes the version counters without holding verMu.
+func rogueCounters(c *Catalog, seq int64) {
+	c.commitSeq.Store(seq) // want `commitSeq.Store without holding verMu`
+	c.planEpoch.Add(1)     // want `planEpoch.Add without holding verMu`
+}
+
+// lateLock acquires verMu only after publishing: still a violation.
+func lateLock(c *Catalog, seq int64) {
+	c.confEpoch.Store(seq) // want `confEpoch.Store without holding verMu`
+	c.verMu.Lock()
+	c.verMu.Unlock()
+}
+
+// mutatePublished writes through a shared *BaseTuple version.
+func mutatePublished(b *BaseTuple) {
+	b.Confidence = 0.9 // want `assignment to BaseTuple.Confidence mutates a published immutable version`
+	b.Values[0] = 7    // want `assignment to BaseTuple.Values mutates a published immutable version`
+}
+
+// valueCopy mutates a private value copy: clean (solvers keep their own
+// BaseTuple structs).
+func valueCopy(b BaseTuple) BaseTuple {
+	b.Confidence = 0.9
+	b.Cost = 1
+	return b
+}
+
+// autoCommitLoops tears batches into one commit per row.
+func autoCommitLoops(t *Table, c *Catalog, rows [][]int) error {
+	for _, r := range rows {
+		if _, err := t.Insert(r, 0.5); err != nil { // want `Table.Insert auto-commits one version per loop iteration`
+			return err
+		}
+	}
+	for i := range rows {
+		t.MustInsert(0.5, rows[i]...) // want `Table.MustInsert auto-commits one version per loop iteration`
+	}
+	for v := int64(0); v < 3; v++ {
+		if err := c.SetConfidence(v, 0.7); err != nil { // want `Catalog.SetConfidence auto-commits one version per loop iteration`
+			return err
+		}
+	}
+	return nil
+}
+
+// batchedLoop is the clean shape: one transaction spans the batch.
+func batchedLoop(t *Table, c *Catalog, rows [][]int) {
+	x := c.Begin()
+	for _, r := range rows {
+		x.Insert(t, r)
+	}
+	for v := int64(0); v < 3; v++ {
+		_ = x.SetConfidence(v, 0.7)
+	}
+	x.Commit()
+}
+
+// straightLine auto-commits outside a loop: clean (the convenience
+// mutators exist exactly for this).
+func straightLine(t *Table, c *Catalog) {
+	t.MustInsert(0.5, 1, 2)
+	_, _ = t.Insert([]int{3}, 0.6)
+	_ = c.SetConfidence(1, 0.8)
+}
+
+// allowed documents a deliberate per-row commit.
+func allowed(t *Table, rows [][]int) {
+	for _, r := range rows {
+		//lint:allow txnmutate fixture: ingest wants per-row visibility
+		t.MustInsert(0.5, r...)
+	}
+}

@@ -79,14 +79,14 @@ func FigPlanner(opt Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ruleDur, ruleRows, err := timePlanAndRun(func() (relation.Operator, error) {
+		ruleDur, ruleRows, err := timePlanAndRun(cat, func(int64) (relation.Operator, error) {
 			return sql.PlanRuleBased(cat, stmt)
 		})
 		if err != nil {
 			return nil, err
 		}
-		costDur, costRows, err := timePlanAndRun(func() (relation.Operator, error) {
-			return sql.Plan(cat, stmt)
+		costDur, costRows, err := timePlanAndRun(cat, func(asOf int64) (relation.Operator, error) {
+			return sql.PlanAt(cat, stmt, asOf)
 		})
 		if err != nil {
 			return nil, err
@@ -201,16 +201,21 @@ func FigPlanner(opt Options) ([]*Table, error) {
 	return []*Table{order, cache}, nil
 }
 
-// timePlanAndRun builds the plan, opens a fresh run and drains it,
-// returning wall-clock and row count. Planning time is included: the
-// comparison is end-to-end latency as a caller sees it.
-func timePlanAndRun(plan func() (relation.Operator, error)) (time.Duration, int, error) {
+// timePlanAndRun builds the plan, opens a fresh run and drains it at a
+// pinned snapshot version, returning wall-clock and row count. Planning
+// time is included: the comparison is end-to-end latency as a caller
+// sees it. The snapshot keeps the timed run on one committed version —
+// the measurement cannot mix commits even if the catalog is mutated
+// while the benchmark runs.
+func timePlanAndRun(cat *relation.Catalog, plan func(asOf int64) (relation.Operator, error)) (time.Duration, int, error) {
+	snap := cat.Snapshot()
+	defer snap.Release()
 	start := time.Now()
-	op, err := plan()
+	op, err := plan(snap.Version())
 	if err != nil {
 		return 0, 0, err
 	}
-	rows, err := relation.Run(op)
+	rows, err := relation.RunAt(op, snap.Version())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -235,17 +240,10 @@ func starCatalog(n int, seed int64) (*relation.Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		_, err := fact.Insert([]relation.Value{
-			relation.Int(int64(i)),
-			relation.Int(int64(rng.Intn(dimRows))),
-			relation.Int(int64(rng.Intn(dimRows))),
-			relation.Float(rng.Float64() * 1000),
-		}, 1, nil)
-		if err != nil {
-			return nil, err
-		}
-	}
+	// DDL first (CreateTable takes the writer lock a Txn would hold),
+	// then one transaction loads the whole star: a single commit instead
+	// of a version bump per row.
+	dims := make([]*relation.Table, 0, 2)
 	for _, name := range []string{"dim1", "dim2"} {
 		dim, err := cat.CreateTable(name, relation.NewSchema(
 			relation.Column{Name: "k", Type: relation.TypeInt},
@@ -254,15 +252,35 @@ func starCatalog(n int, seed int64) (*relation.Catalog, error) {
 		if err != nil {
 			return nil, err
 		}
+		dims = append(dims, dim)
+	}
+	x := cat.Begin()
+	for i := 0; i < n; i++ {
+		_, err := x.Insert(fact, []relation.Value{
+			relation.Int(int64(i)),
+			relation.Int(int64(rng.Intn(dimRows))),
+			relation.Int(int64(rng.Intn(dimRows))),
+			relation.Float(rng.Float64() * 1000),
+		}, 1, nil)
+		if err != nil {
+			x.Rollback()
+			return nil, err
+		}
+	}
+	for _, dim := range dims {
 		for i := 0; i < dimRows; i++ {
-			_, err := dim.Insert([]relation.Value{
+			_, err := x.Insert(dim, []relation.Value{
 				relation.Int(int64(i)),
 				relation.Int(int64(rng.Intn(100))),
 			}, 1, nil)
 			if err != nil {
+				x.Rollback()
 				return nil, err
 			}
 		}
+	}
+	if _, err := x.Commit(); err != nil {
+		return nil, err
 	}
 	return cat, nil
 }

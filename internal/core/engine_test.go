@@ -383,7 +383,7 @@ func TestResponseStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := resp.Stats()
+	s := resp.FullStats()
 	if s.Total != 1 || s.Released != 0 || s.Withheld != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
@@ -392,6 +392,11 @@ func TestResponseStats(t *testing.T) {
 	}
 	if s.Histogram[0] != 1 {
 		t.Fatalf("histogram = %v", s.Histogram)
+	}
+	// The user-facing summary must not leak the withheld confidence: the
+	// response has no released rows, so every aggregate stays zero.
+	if pub := resp.Stats(); pub.Total != 1 || pub.Withheld != 1 || pub.Min != 0 || pub.Max != 0 || pub.Mean != 0 {
+		t.Fatalf("released-only stats leak withheld confidences: %+v", pub)
 	}
 	// Empty response.
 	empty := &Response{}

@@ -2,14 +2,17 @@ package core
 
 import "pcqe/internal/conf"
 
-// Stats summarizes the confidence distribution of a response across both
-// released and withheld rows — the "how trustworthy is this result set"
-// overview a UI would chart next to the table.
+// Stats summarizes the confidence distribution of a response — the "how
+// trustworthy is this result set" overview a UI would chart next to the
+// table. Stats aggregates released rows only; withheld rows contribute
+// just their count. FullStats folds withheld confidences in for trusted
+// operator surfaces.
 type Stats struct {
 	Total    int
 	Released int
 	Withheld int
-	// Min, Max and Mean confidence over all rows (0 when Total == 0).
+	// Min, Max and Mean confidence over the aggregated rows (0 when no
+	// rows are aggregated).
 	Min, Max, Mean float64
 	// Histogram buckets confidences into deciles: bucket i counts rows
 	// with confidence in [i/10, (i+1)/10), except the last bucket which
@@ -17,8 +20,29 @@ type Stats struct {
 	Histogram [10]int
 }
 
-// Stats computes the response's confidence summary.
+// Stats computes the response's confidence summary over the released
+// rows. Withheld rows appear only as a count: their confidences are
+// exactly what the policy filter held back, and folding them into
+// min/max/mean would leak a below-threshold confidence to whoever reads
+// the summary (with one withheld row, Max *is* its confidence).
 func (r *Response) Stats() Stats {
+	s := Stats{
+		Released: len(r.Released),
+		Withheld: len(r.Withheld),
+	}
+	s.Total = s.Released + s.Withheld
+	if s.Released == 0 {
+		return s
+	}
+	s.aggregate(r.Released, s.Released)
+	return s
+}
+
+// FullStats computes the summary over released and withheld rows alike.
+// It exists for trusted positions — operator dashboards, audit tooling —
+// that legitimately inspect what the filter suppressed; anything
+// user-facing wants Stats.
+func (r *Response) FullStats() Stats {
 	s := Stats{
 		Released: len(r.Released),
 		Withheld: len(r.Withheld),
@@ -27,37 +51,40 @@ func (r *Response) Stats() Stats {
 	if s.Total == 0 {
 		return s
 	}
+	//lint:allow policyflow trusted operator/audit surface: aggregating withheld confidences is this function's documented contract
+	s.aggregate(append(append([]Row{}, r.Released...), r.Withheld...), s.Total)
+	return s
+}
+
+// aggregate folds rows into Min/Max/Mean/Histogram; n is the row count
+// the mean divides by.
+func (s *Stats) aggregate(rows []Row, n int) {
 	s.Min = 2
 	sum := 0.0
-	count := func(rows []Row) {
-		for _, row := range rows {
-			p := row.Confidence
-			sum += p
-			if p < s.Min {
-				s.Min = p
-			}
-			if p > s.Max {
-				s.Max = p
-			}
-			// int(p*10) alone misbuckets confidences an ulp below a
-			// decile boundary (e.g. 0.7 stored as 0.69999…97 would land
-			// in bucket 6): treat values within conf.Eps of the next
-			// boundary as belonging to the higher decile.
-			b := int(p * 10)
-			if b < 9 && conf.GE(p, float64(b+1)/10) {
-				b++
-			}
-			if b > 9 {
-				b = 9
-			}
-			if b < 0 {
-				b = 0
-			}
-			s.Histogram[b]++
+	for _, row := range rows {
+		p := row.Confidence
+		sum += p
+		if p < s.Min {
+			s.Min = p
 		}
+		if p > s.Max {
+			s.Max = p
+		}
+		// int(p*10) alone misbuckets confidences an ulp below a
+		// decile boundary (e.g. 0.7 stored as 0.69999…97 would land
+		// in bucket 6): treat values within conf.Eps of the next
+		// boundary as belonging to the higher decile.
+		b := int(p * 10)
+		if b < 9 && conf.GE(p, float64(b+1)/10) {
+			b++
+		}
+		if b > 9 {
+			b = 9
+		}
+		if b < 0 {
+			b = 0
+		}
+		s.Histogram[b]++
 	}
-	count(r.Released)
-	count(r.Withheld)
-	s.Mean = sum / float64(s.Total)
-	return s
+	s.Mean = sum / float64(n)
 }

@@ -21,7 +21,10 @@ const (
 // the table's column names (case-insensitive, in any order). A column
 // named "_confidence" supplies per-row confidence (default 1); a column
 // named "_cost_rate" supplies a linear cost function rate (default: row
-// not improvable).
+// not improvable). The whole file loads inside one transaction: either
+// every row commits as a single version, or — on any error — none do.
+// The returned count is the number of rows staged before the error, for
+// "line N failed after M rows" reporting.
 func LoadCSV(t *Table, r io.Reader) (int, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -59,6 +62,22 @@ func LoadCSV(t *Table, r io.Reader) (int, error) {
 			return 0, fmt.Errorf("relation: CSV missing column %q", schema.Columns[i].Name)
 		}
 	}
+	x := t.catalog.Begin()
+	n, err := loadCSVRows(x, t, cr, header, colFor, confIdx, costIdx)
+	if err != nil {
+		x.Rollback()
+		return n, err
+	}
+	if _, err := x.Commit(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// loadCSVRows stages the data rows into the open transaction and
+// returns how many it staged.
+func loadCSVRows(x *Txn, t *Table, cr *csv.Reader, header []string, colFor []int, confIdx, costIdx int) (int, error) {
+	schema := t.Schema()
 	n := 0
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -104,7 +123,7 @@ func LoadCSV(t *Table, r io.Reader) (int, error) {
 				values[idx] = v
 			}
 		}
-		if _, err := t.Insert(values, confidence, fn); err != nil {
+		if _, err := x.Insert(t, values, confidence, fn); err != nil {
 			return n, fmt.Errorf("relation: CSV line %d: %w", line, err)
 		}
 		n++

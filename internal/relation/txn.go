@@ -164,6 +164,17 @@ func (x *Txn) Insert(t *Table, values []Value, confidence float64, fn cost.Funct
 	return row, nil
 }
 
+// MustInsert is Insert that panics on error; it keeps batch-loading
+// examples and test fixtures terse while staying inside one
+// transaction (one commit for the whole batch, not one per row).
+func (x *Txn) MustInsert(t *Table, confidence float64, fn cost.Function, values ...Value) *BaseTuple {
+	row, err := x.Insert(t, values, confidence, fn)
+	if err != nil {
+		panic(err)
+	}
+	return row
+}
+
 // Delete marks the rows of t matching pred deleted by pushing
 // tombstone versions: scans at and after the commit skip them, while
 // their lineage variables keep resolving — to confidence 0, reflecting

@@ -40,7 +40,7 @@ func (i *Ident) SQL() string {
 // otherwise lex as a keyword or contains non-identifier characters.
 func quoteIdent(name string) string {
 	needQuote := name == ""
-	if keywords[strings.ToUpper(name)] {
+	if isKeyword(strings.ToUpper(name)) {
 		needQuote = true
 	}
 	for i, r := range name {

@@ -159,23 +159,34 @@ func execInsert(cat *relation.Catalog, s *InsertStmt) (*Result, error) {
 		fn = cost.Linear{Rate: f}
 	}
 
+	// One transaction spans the whole VALUES list: a multi-row INSERT
+	// commits atomically as a single version instead of one commit per
+	// row, so a failing row leaves nothing behind and concurrent
+	// snapshots never observe half the statement.
+	x := cat.Begin()
 	n := 0
 	for _, row := range s.Rows {
 		if len(row) != len(colIdx) {
+			x.Rollback()
 			return nil, errAt(s.Tok, "INSERT row has %d values, expected %d", len(row), len(colIdx))
 		}
 		values := make([]relation.Value, schema.Len())
 		for i, e := range row {
 			v, err := evalConst(e, empty)
 			if err != nil {
+				x.Rollback()
 				return nil, err
 			}
 			values[colIdx[i]] = v
 		}
-		if _, err := tab.Insert(values, confidence, fn); err != nil {
+		if _, err := x.Insert(tab, values, confidence, fn); err != nil {
+			x.Rollback()
 			return nil, err
 		}
 		n++
+	}
+	if _, err := x.Commit(); err != nil {
+		return nil, err
 	}
 	return &Result{Affected: n, Message: fmt.Sprintf("inserted %d rows", n)}, nil
 }

@@ -119,7 +119,7 @@ func Lex(input string) ([]Token, error) {
 			}
 			word := input[start:i]
 			upper := strings.ToUpper(word)
-			if keywords[upper] {
+			if isKeyword(upper) {
 				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start, Line: startLine, Col: startCol})
 			} else {
 				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start, Line: startLine, Col: startCol})

@@ -351,7 +351,14 @@ func (p *parser) parseNot() (ExprNode, error) {
 	return p.parsePredicate()
 }
 
-var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+// isCmpOp reports whether a symbol token is a comparison operator.
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
 
 func (p *parser) parsePredicate() (ExprNode, error) {
 	left, err := p.parseAdditive()
@@ -359,7 +366,7 @@ func (p *parser) parsePredicate() (ExprNode, error) {
 		return nil, err
 	}
 	tok := p.peek()
-	if tok.Kind == TokSymbol && cmpOps[tok.Text] {
+	if tok.Kind == TokSymbol && isCmpOp(tok.Text) {
 		p.next()
 		right, err := p.parseAdditive()
 		if err != nil {
@@ -494,7 +501,14 @@ func (p *parser) parseUnary() (ExprNode, error) {
 	return p.parsePrimary()
 }
 
-var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+// isAggName reports whether a keyword names an aggregate function.
+func isAggName(s string) bool {
+	switch s {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
 
 func (p *parser) parsePrimary() (ExprNode, error) {
 	tok := p.peek()
@@ -525,7 +539,7 @@ func (p *parser) parsePrimary() (ExprNode, error) {
 			p.next()
 			return &Lit{Kind: LitBool, Bool: tok.Text == "TRUE", Tok: tok}, nil
 		}
-		if aggNames[tok.Text] {
+		if isAggName(tok.Text) {
 			p.next()
 			if err := p.expectSymbol("("); err != nil {
 				return nil, err

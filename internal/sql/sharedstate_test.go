@@ -1,0 +1,59 @@
+package sql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pcqe/internal/relation"
+)
+
+// TestParserSharedStateFreedom is the dynamic counterpart of the
+// sharedstate analyzer: the sql package declares no package-level
+// mutable state (the keyword/operator/aggregate tables are switch-based
+// functions), so fully independent sessions lexing, parsing, planning
+// and executing concurrently must be race-free and each must see
+// exactly its own catalog's answer. CI's resilience job runs this under
+// -race.
+func TestParserSharedStateFreedom(t *testing.T) {
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cat := relation.NewCatalog()
+			script := fmt.Sprintf(
+				"CREATE TABLE t%d (name TEXT, score FLOAT);"+
+					"INSERT INTO t%d VALUES ('a', 1.5), ('b', 2.5), ('c', %d.5) WITH CONFIDENCE 0.9;",
+				w, w, w+3)
+			if _, err := ExecScript(cat, script); err != nil {
+				errs <- err
+				return
+			}
+			for k := 0; k < 10; k++ {
+				res, err := Exec(cat, fmt.Sprintf(
+					"SELECT name, score FROM t%d WHERE score > 2 AND NOT (name = 'zz') ORDER BY score DESC", w))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 2 {
+					errs <- fmt.Errorf("session %d iteration %d: got %d rows, want 2", w, k, len(res.Rows))
+					return
+				}
+				top, ok := res.Rows[0].Values[1].AsFloat()
+				if !ok || top != float64(w+3)+0.5 {
+					errs <- fmt.Errorf("session %d saw another session's data: top score %v", w, res.Rows[0].Values[1])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -166,18 +166,19 @@ type ExplainStmt struct {
 // SQL implements Node.
 func (s *ExplainStmt) SQL() string { return "EXPLAIN " + s.Query.SQL() }
 
-// typeKeywords maps SQL type names to relation types.
-var typeKeywords = map[string]relation.Type{
-	"INTEGER": relation.TypeInt,
-	"INT":     relation.TypeInt,
-	"REAL":    relation.TypeFloat,
-	"FLOAT":   relation.TypeFloat,
-	"DOUBLE":  relation.TypeFloat,
-	"TEXT":    relation.TypeString,
-	"VARCHAR": relation.TypeString,
-	"STRING":  relation.TypeString,
-	"BOOLEAN": relation.TypeBool,
-	"BOOL":    relation.TypeBool,
+// typeKeyword maps an SQL type name to its relation type.
+func typeKeyword(name string) (relation.Type, bool) {
+	switch name {
+	case "INTEGER", "INT":
+		return relation.TypeInt, true
+	case "REAL", "FLOAT", "DOUBLE":
+		return relation.TypeFloat, true
+	case "TEXT", "VARCHAR", "STRING":
+		return relation.TypeString, true
+	case "BOOLEAN", "BOOL":
+		return relation.TypeBool, true
+	}
+	return 0, false
 }
 
 // ParseStatement parses a single statement of any kind (a trailing
@@ -280,7 +281,7 @@ func (p *parser) parseCreateTable() (Statement, error) {
 		typeTok := p.peek()
 		typ, ok := relation.TypeNull, false
 		if typeTok.Kind == TokKeyword {
-			typ, ok = typeKeywords[typeTok.Text]
+			typ, ok = typeKeyword(typeTok.Text)
 		}
 		if !ok {
 			return nil, errAt(typeTok, "expected a column type, got %s", typeTok)

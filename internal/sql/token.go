@@ -50,26 +50,33 @@ func (t Token) String() string {
 	}
 }
 
-// keywords recognized by the lexer (always upper-cased in Token.Text).
-var keywords = map[string]bool{
-	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
-	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
-	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
-	"AS": true, "AND": true, "OR": true, "NOT": true,
-	"JOIN": true, "INNER": true, "ON": true, "CROSS": true,
-	"UNION": true, "ALL": true, "INTERSECT": true, "EXCEPT": true,
-	"NULL": true, "TRUE": true, "FALSE": true,
-	"IS": true, "IN": true, "LIKE": true, "BETWEEN": true,
-	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
-	// Statements beyond SELECT.
-	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
-	"INTO": true, "VALUES": true, "DELETE": true, "UPDATE": true,
-	"SET": true, "WITH": true, "CONFIDENCE": true, "COST": true,
-	"EXPLAIN": true, "INDEX": true,
-	// Column types.
-	"INTEGER": true, "INT": true, "REAL": true, "FLOAT": true,
-	"DOUBLE": true, "TEXT": true, "VARCHAR": true, "STRING": true,
-	"BOOLEAN": true, "BOOL": true,
+// isKeyword reports whether an upper-cased identifier is a keyword
+// recognized by the lexer (keywords are always upper-cased in
+// Token.Text). A switch keeps the set immutable: the sql package holds
+// no package-level state, so concurrent sessions can share it freely.
+func isKeyword(s string) bool {
+	switch s {
+	case "SELECT", "DISTINCT", "FROM", "WHERE",
+		"GROUP", "BY", "HAVING", "ORDER",
+		"ASC", "DESC", "LIMIT", "OFFSET",
+		"AS", "AND", "OR", "NOT",
+		"JOIN", "INNER", "ON", "CROSS",
+		"UNION", "ALL", "INTERSECT", "EXCEPT",
+		"NULL", "TRUE", "FALSE",
+		"IS", "IN", "LIKE", "BETWEEN",
+		"COUNT", "SUM", "AVG", "MIN", "MAX",
+		// Statements beyond SELECT.
+		"CREATE", "TABLE", "DROP", "INSERT",
+		"INTO", "VALUES", "DELETE", "UPDATE",
+		"SET", "WITH", "CONFIDENCE", "COST",
+		"EXPLAIN", "INDEX",
+		// Column types.
+		"INTEGER", "INT", "REAL", "FLOAT",
+		"DOUBLE", "TEXT", "VARCHAR", "STRING",
+		"BOOLEAN", "BOOL":
+		return true
+	}
+	return false
 }
 
 // Error is a parse or planning error with position information.

@@ -82,25 +82,34 @@ func GenerateDB(p DBParams) (*relation.Catalog, []string, error) {
 		return nil, nil, err
 	}
 
+	// One transaction loads the whole database: a single commit instead
+	// of one version-counter bump per row, which both keeps the generated
+	// catalog a single consistent version and makes large N loads cheap.
+	x := cat.Begin()
 	for s := 0; s < p.Suppliers; s++ {
 		name := fmt.Sprintf("s%04d", s)
 		region := fmt.Sprintf("r%02d", r.Intn(p.Regions))
-		if _, err := suppliers.Insert([]relation.Value{
+		if _, err := x.Insert(suppliers, []relation.Value{
 			relation.String_(name),
 			relation.String_(region),
 			relation.Float(1 + 4*r.Float64()),
 		}, conf(), cost.RandomPaper(r, 10)); err != nil {
+			x.Rollback()
 			return nil, nil, err
 		}
 		for o := 0; o < p.OrdersPerSupplier; o++ {
-			if _, err := orders.Insert([]relation.Value{
+			if _, err := x.Insert(orders, []relation.Value{
 				relation.String_(name),
 				relation.Float(100 * r.Float64()),
 				relation.Bool(r.Float64() < 0.8),
 			}, conf(), cost.RandomPaper(r, 10)); err != nil {
+				x.Rollback()
 				return nil, nil, err
 			}
 		}
+	}
+	if _, err := x.Commit(); err != nil {
+		return nil, nil, err
 	}
 
 	queries := []string{
