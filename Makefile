@@ -4,9 +4,9 @@
 # the tree-walk reference.
 GO ?= go
 
-.PHONY: check vet lint build test race differential mvcc-stress bench bench-parallel bench-planner obs-smoke
+.PHONY: check vet lint build test race differential mvcc-stress bench bench-parallel bench-planner obs-smoke serve-smoke
 
-check: vet lint build race mvcc-stress differential obs-smoke
+check: vet lint build race mvcc-stress differential obs-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,13 @@ obs-smoke:
 	echo "$$out" | grep -q '^  strategy ' || { echo "obs-smoke: no strategy span in trace"; echo "$$out"; exit 1; }; \
 	echo "$$out" | grep -q 'engine.queries 1' || { echo "obs-smoke: metrics snapshot missing engine.queries"; echo "$$out"; exit 1; }; \
 	echo "obs-smoke: ok"
+
+# serve-smoke boots pcqed on the README fixtures, drives one scripted
+# HTTP session per role (sue released, mark withheld → propose → apply →
+# released, unpolicied pair refused), then SIGTERMs the daemon and
+# asserts a clean drain with the audit journal flushed gap-free.
+serve-smoke:
+	@sh scripts/serve_smoke.sh
 
 # Greedy phase-1 gain evaluation (compiled kernels vs legacy tree walk)
 # plus the parallel D&C worker-pool scaling benchmark.

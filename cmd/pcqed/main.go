@@ -1,0 +1,294 @@
+// Command pcqed is the policy-compliant query daemon: one shared PCQE
+// engine served over HTTP/JSON to many concurrent sessions. Each
+// session authenticates to a ⟨user, purpose⟩ pair at handshake; the
+// applicable confidence policy's β then filters every query the
+// session runs, queries pin one MVCC snapshot each, and improvement
+// proposals are offered and applied per session.
+//
+// Usage:
+//
+//	pcqed -table Name=file.csv [-table ...] \
+//	      -role user=role [-role ...] \
+//	      -policy role:purpose:beta [-policy ...] \
+//	      [-listen 127.0.0.1:8633] [-journal audit.jsonl] \
+//	      [-max-sessions 64] [-worker-pool 8] [-drain-timeout 5s]
+//
+// The daemon prints "pcqed listening on http://ADDR" once bound (use
+// -listen 127.0.0.1:0 plus -addr-file for scripted clients) and drains
+// gracefully on SIGTERM/SIGINT: it stops accepting sessions and
+// queries, finishes in-flight requests under -drain-timeout, flushes
+// the audit journal, and exits 0.
+//
+// Protocol sketch (see DESIGN.md §13 for the full contract):
+//
+//	POST   /v1/session  {"user":"sue","purpose":"analysis"}  → {"token":...}
+//	POST   /v1/query    {"query":"SELECT ...","min_fraction":0.5}
+//	POST   /v1/explain  {"query":"SELECT ..."}
+//	POST   /v1/apply    {"proposal_id":"p1"}
+//	GET    /v1/audit?limit=20
+//	DELETE /v1/session
+//	GET    /v1/healthz
+//
+// All but the handshake and healthz require "Authorization: Bearer
+// <token>".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // debug listener endpoints, opt-in via -debug-listen
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pcqe/internal/core"
+	"pcqe/internal/obs"
+	"pcqe/internal/policy"
+	"pcqe/internal/relation"
+	"pcqe/internal/server"
+	"pcqe/internal/sql"
+	"pcqe/internal/strategy"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pcqed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var tables, roles, policies listFlag
+	flag.Var(&tables, "table", "Name=file.csv (repeatable)")
+	flag.Var(&roles, "role", "user=role assignment (repeatable)")
+	flag.Var(&policies, "policy", "role:purpose:beta confidence policy (repeatable)")
+	execScript := flag.String("exec", "", "SQL script file to execute at startup (CREATE TABLE / INSERT ... WITH CONFIDENCE / ...)")
+	listen := flag.String("listen", "127.0.0.1:8633", "address to serve on (use port 0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripted clients with -listen ...:0)")
+	journal := flag.String("journal", "", "flush the audit journal to this JSONL file on drain")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open sessions")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "maximum concurrent requests per session")
+	workerPool := flag.Int("worker-pool", server.DefaultWorkerPool, "maximum concurrently evaluating requests server-wide; beyond it requests get 503 + Retry-After")
+	defaultTimeout := flag.Duration("default-timeout", 0, "per-request wall-clock default when the client sets none (0 = no limit)")
+	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on per-request wall-clock budgets, including 'unlimited' requests (0 = no ceiling)")
+	maxNodes := flag.Int("max-nodes", 0, "ceiling on per-request solver node budgets (0 = no ceiling)")
+	maxPivots := flag.Int("max-pivots", 0, "ceiling on per-request Shannon-pivot budgets (0 = no ceiling)")
+	maxSteps := flag.Int("max-steps", 0, "ceiling on per-request δ-grid step budgets (0 = no ceiling)")
+	drainTimeout := flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long a SIGTERM drain waits for in-flight requests")
+	allowUnpolicied := flag.Bool("allow-unpolicied", false, "admit sessions no confidence policy covers (every row released); off by default")
+	traceRing := flag.Int("trace-ring", 0, "retain the last N request span trees (0 = off)")
+	debugListen := flag.String("debug-listen", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q; pcqed takes queries over HTTP, not argv", flag.Args())
+	}
+
+	cat := relation.NewCatalog()
+	for _, spec := range tables {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -table %q, want Name=file.csv", spec)
+		}
+		if err := loadTable(cat, name, file); err != nil {
+			return err
+		}
+	}
+	if *execScript != "" {
+		script, err := os.ReadFile(*execScript)
+		if err != nil {
+			return err
+		}
+		results, err := sql.ExecScript(cat, string(script))
+		for _, r := range results {
+			fmt.Fprintln(os.Stderr, r.Message)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	rbac := policy.NewRBAC()
+	purposes := policy.NewPurposeTree()
+	store := policy.NewStore(rbac, purposes)
+	for _, spec := range policies {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -policy %q, want role:purpose:beta", spec)
+		}
+		beta, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad -policy threshold %q: %w", parts[2], err)
+		}
+		rbac.AddRole(parts[0])
+		if parts[1] != policy.Root && !purposes.Has(parts[1]) {
+			if err := purposes.Add(parts[1], ""); err != nil {
+				return err
+			}
+		}
+		if err := store.Add(policy.ConfidencePolicy{Role: parts[0], Purpose: parts[1], Beta: beta}); err != nil {
+			return err
+		}
+	}
+	for _, spec := range roles {
+		u, r, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -role %q, want user=role", spec)
+		}
+		rbac.AddRole(r)
+		if err := rbac.AssignUser(u, r); err != nil {
+			return err
+		}
+	}
+
+	engine := core.NewEngine(cat, store, nil)
+	engine.SetAudit(&core.AuditLog{})
+	metrics := obs.New()
+	engine.SetMetrics(metrics)
+	if *traceRing > 0 {
+		engine.SetTracer(obs.NewRingTracer(*traceRing))
+	}
+	if *debugListen != "" {
+		if err := metrics.Publish("pcqed"); err != nil {
+			return err
+		}
+		go func() {
+			// DefaultServeMux carries the expvar and pprof handlers.
+			if err := http.ListenAndServe(*debugListen, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pcqed: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug listener on http://%s/debug/pprof/ and /debug/vars\n", *debugListen)
+	}
+
+	srv := server.New(engine, server.Config{
+		MaxSessions:     *maxSessions,
+		MaxInFlight:     *maxInFlight,
+		WorkerPool:      *workerPool,
+		DefaultBudget:   strategy.Budget{Timeout: *defaultTimeout},
+		MaxBudget:       strategy.Budget{Timeout: *maxTimeout, MaxNodes: *maxNodes, MaxPivots: *maxPivots, MaxSteps: *maxSteps},
+		DrainTimeout:    *drainTimeout,
+		JournalPath:     *journal,
+		AllowUnpolicied: *allowUnpolicied,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(addr+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Printf("pcqed listening on http://%s\n", addr)
+
+	httpServer := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpServer.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain: refuse new sessions and queries, finish in-flight requests
+	// under the drain deadline, flush the audit journal — then close the
+	// listener and connections. Drain errors (deadline expired, journal
+	// flush failure) are reported but the HTTP teardown still runs.
+	fmt.Println("pcqed draining")
+	drainErr := srv.Drain(context.Background())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-errCh
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("pcqed drained cleanly")
+	return nil
+}
+
+// loadTable infers a schema from the CSV header and first data row,
+// creates the table and loads every row (same conventions as pcqe:
+// optional "_confidence" and "_cost_rate" columns).
+func loadTable(cat *relation.Catalog, name, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	schema, err := inferSchema(file)
+	if err != nil {
+		return err
+	}
+	tab, err := cat.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	n, err := relation.LoadCSV(tab, f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s: %d rows\n", name, n)
+	return nil
+}
+
+func inferSchema(file string) (*relation.Schema, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := f.Read(buf)
+	lines := strings.SplitN(string(buf[:n]), "\n", 3)
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("%s: need a header and at least one row", file)
+	}
+	header := strings.Split(strings.TrimRight(lines[0], "\r"), ",")
+	sample := strings.Split(strings.TrimRight(lines[1], "\r"), ",")
+	var cols []relation.Column
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == relation.ConfidenceColumn || h == relation.CostColumn {
+			continue
+		}
+		typ := relation.TypeString
+		if i < len(sample) {
+			v := strings.TrimSpace(sample[i])
+			if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+				typ = relation.TypeInt
+			} else if _, err := strconv.ParseFloat(v, 64); err == nil {
+				typ = relation.TypeFloat
+			}
+		}
+		cols = append(cols, relation.Column{Name: h, Type: typ})
+	}
+	return relation.NewSchema(cols...), nil
+}

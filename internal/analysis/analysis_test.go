@@ -256,7 +256,7 @@ func TestSuiteShape(t *testing.T) {
 		"planalias":      {scope: []string{"internal/strategy", "internal/core"}},
 		"snapdiscipline": {exclude: []string{"internal/relation"}},
 		"txnmutate":      {},
-		"sharedstate":    {scope: []string{"internal/core", "internal/sql", "internal/strategy", "internal/relation"}},
+		"sharedstate":    {scope: []string{"internal/core", "internal/sql", "internal/strategy", "internal/relation", "internal/server"}},
 		"policyflow":     {scope: []string{"internal/core"}, justify: true},
 	}
 	if len(suite) != len(want) {

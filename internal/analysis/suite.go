@@ -16,7 +16,9 @@ package analysis
 //   - txnmutate runs everywhere: versioned-state mutation stays inside
 //     the Txn protocol, and batches never auto-commit per row;
 //   - sharedstate runs on the engine packages the wire-protocol server
-//     will need to share: no package-level mutable state;
+//     shares across sessions — and on the server itself: no
+//     package-level mutable state anywhere a concurrent session can
+//     reach;
 //   - policyflow runs on the engine, the only layer that builds
 //     Responses: every released-tuple path consults the β filter.
 func Suite() []*Analyzer {
@@ -28,7 +30,7 @@ func Suite() []*Analyzer {
 		Planalias("internal/strategy", "internal/core"),
 		Snapdiscipline("internal/relation"),
 		Txnmutate(),
-		Sharedstate("internal/core", "internal/sql", "internal/strategy", "internal/relation"),
+		Sharedstate("internal/core", "internal/sql", "internal/strategy", "internal/relation", "internal/server"),
 		Policyflow("internal/core"),
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,6 +48,33 @@ func (k AuditEventKind) String() string {
 		return "rollback"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its string name. The numeric
+// encoding a bare uint8 would produce is lossy for journal consumers:
+// a "3" in a flushed journal file is meaningless without this
+// package's iota order, which is not a stable wire contract — the
+// names are.
+func (k AuditEventKind) MarshalJSON() ([]byte, error) {
+	if k > AuditRollback {
+		return nil, fmt.Errorf("core: cannot marshal unknown audit event kind %d", uint8(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses the string name form produced by MarshalJSON.
+func (k *AuditEventKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("core: audit event kind: %w", err)
+	}
+	for c := AuditEvaluate; c <= AuditRollback; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown audit event kind %q", s)
 }
 
 // AuditEvent is one entry in the engine's compliance journal. Confidence

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"pcqe/internal/fault"
 	"pcqe/internal/obs"
 	"pcqe/internal/policy"
 	"pcqe/internal/relation"
@@ -98,6 +99,29 @@ type Request struct {
 	// n > 1 uses n workers. The plan is bit-identical for every value;
 	// only wall-clock changes. Negative values are rejected.
 	Workers int
+	// MaxNodes, MaxPivots and MaxSteps bound the improvement solve's
+	// work counters for this request (strategy.Budget semantics:
+	// branch-and-bound node expansions, Shannon pivot evaluations,
+	// δ-grid steps; 0 = unlimited). They are request-scoped so a server
+	// hosting many sessions over one engine can give each session its
+	// own solver allowance instead of configuring the shared solver
+	// process-wide. Exhaustion degrades the response to the solver's
+	// best incumbent, exactly like Timeout. Negative values are
+	// rejected.
+	MaxNodes  int
+	MaxPivots int
+	MaxSteps  int
+}
+
+// budget assembles the request's solver budget (work-counter bounds and
+// worker-pool width; the wall clock is enforced through the context).
+func (r Request) budget() strategy.Budget {
+	return strategy.Budget{
+		Workers:   r.Workers,
+		MaxNodes:  r.MaxNodes,
+		MaxPivots: r.MaxPivots,
+		MaxSteps:  r.MaxSteps,
+	}
 }
 
 // Row is one query result with its computed confidence.
@@ -180,6 +204,10 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	if req.Workers < 0 {
 		return nil, fmt.Errorf("core: workers must be non-negative, got %d (0 = solver default, 1 = serial)", req.Workers)
 	}
+	if req.MaxNodes < 0 || req.MaxPivots < 0 || req.MaxSteps < 0 {
+		return nil, fmt.Errorf("core: solver budget must be non-negative, got nodes=%d pivots=%d steps=%d (0 = unlimited)",
+			req.MaxNodes, req.MaxPivots, req.MaxSteps)
+	}
 	if req.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
@@ -200,12 +228,17 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	root.SetAttr("snapshot_version", snap.Version())
 
 	evalSpan := root.StartChild("eval")
-	pcHits0, pcMisses0 := e.plans.Stats()
-	rows, schema, info, err := e.plans.QueryDetailedSnap(snap, req.Query)
-	pcHits1, pcMisses1 := e.plans.Stats()
+	rows, schema, info, planHit, err := e.plans.QueryDetailedSnapHit(snap, req.Query)
 	evalSpan.SetAttr("rows", int64(len(rows)))
-	evalSpan.SetAttr("plan_cache_hits", pcHits1-pcHits0)
-	evalSpan.SetAttr("plan_cache_misses", pcMisses1-pcMisses0)
+	// Per-call attribution, not a Stats() delta: the cache counters are
+	// shared by every concurrent session, so a before/after difference
+	// here would charge this request with other sessions' lookups.
+	planHits, planMisses := int64(0), int64(1)
+	if planHit {
+		planHits, planMisses = 1, 0
+	}
+	evalSpan.SetAttr("plan_cache_hits", planHits)
+	evalSpan.SetAttr("plan_cache_misses", planMisses)
 	if info != nil {
 		costBased := int64(0)
 		if info.CostBased {
@@ -232,12 +265,27 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 	// bounded-pivot / hard) through the confidence cache; the span
 	// carries the per-class row and Shannon-pivot totals.
 	linSpan := root.StartChild("lineage")
-	cc0 := e.confs.Stats()
+	var cc relation.ConfCacheStats
 	all := make([]Row, len(rows))
 	for i, t := range rows {
-		all[i] = Row{Tuple: t, Confidence: e.confs.ConfidenceAt(t, snap)}
+		// A disconnected or deadline-expired client must not ride the
+		// lineage phase to completion: confidence computation is #P-hard
+		// and routinely dominates the request, and nothing below this
+		// loop polls the context until the strategy phase. Poll between
+		// rows (one formula is the natural cancellation grain) and bail
+		// with the context error — there are no partial results worth
+		// salvaging before the policy filter has run.
+		if i&0x3f == 0 {
+			fault.Probe("core.lineage.row")
+			if err := ctx.Err(); err != nil {
+				linSpan.SetStatus(err.Error())
+				linSpan.End()
+				root.End()
+				return nil, err
+			}
+		}
+		all[i] = Row{Tuple: t, Confidence: e.confs.ConfidenceAtAcc(t, snap, &cc)}
 	}
-	cc := e.confs.Stats().Sub(cc0)
 	linSpan.SetAttr("rows", int64(len(all)))
 	linSpan.SetAttr("readonce_rows", cc.Rows[relation.LineageReadOnce])
 	linSpan.SetAttr("bounded_rows", cc.Rows[relation.LineageBounded])
@@ -273,7 +321,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, req Request) (*Response, e
 		if need := resp.Need(req); need > 0 {
 			stratSpan := root.StartChild("strategy")
 			stratSpan.SetAttr("need", int64(need))
-			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need, req.Workers, snap)
+			prop, err := e.propose(obs.ContextWithSpan(ctx, stratSpan), resp, need, req.budget(), snap)
 			switch {
 			case err == nil || errors.Is(err, strategy.ErrInfeasible):
 				// prop is nil on infeasibility: nothing to offer.

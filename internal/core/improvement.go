@@ -96,13 +96,14 @@ func (p *Proposal) Increments() []Increment {
 }
 
 // propose builds the optimization instance from the withheld rows and
-// solves it under the request context. When the solver runs out of
-// deadline or budget but still produced an anytime incumbent, propose
-// returns that plan as a partial Proposal alongside the
+// solves it under the request context and the request's solver budget
+// (work-counter bounds and worker-pool width from Request via
+// Request.budget; the wall clock rides on ctx). When the solver runs
+// out of deadline or budget but still produced an anytime incumbent,
+// propose returns that plan as a partial Proposal alongside the
 // *strategy.BudgetExceededError so the caller can degrade instead of
-// fail. workers sizes a parallel-capable solver's group worker pool
-// (Request.Workers: 0 keeps the solver's configuration).
-func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int, snap *relation.Snapshot) (*Proposal, error) {
+// fail.
+func (e *Engine) propose(ctx context.Context, resp *Response, need int, budget strategy.Budget, snap *relation.Snapshot) (*Proposal, error) {
 	in := &strategy.Instance{
 		Beta: resp.Threshold + betaMargin,
 		// The paper's evaluation grid uses δ=0.1; keep it as the
@@ -163,7 +164,6 @@ func (e *Engine) propose(ctx context.Context, resp *Response, need, workers int,
 		return nil, strategy.ErrInfeasible
 	}
 	in.Need = need
-	budget := strategy.Budget{Workers: workers}
 	e.metrics.Gauge("engine.solver.workers").Set(int64(strategy.EffectiveWorkers(e.solver, budget)))
 	plan, err := strategy.SolveContext(ctx, e.solver, in, budget)
 	if plan == nil && err != nil {
@@ -368,15 +368,9 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 	shared.SetAttr("queries", int64(len(blocks)))
 	shared.SetAttr("need", int64(totalNeed))
 	sctx := obs.ContextWithSpan(ctx, shared)
-	// The shared solve serves every query at once; give it the widest
-	// worker pool any participating request asked for.
-	workers := 0
-	for _, req := range reqs {
-		if req.Workers > workers {
-			workers = req.Workers
-		}
-	}
-	budget := strategy.Budget{Workers: workers}
+	// The shared solve serves every query at once; give it the most
+	// permissive budget across the participating requests.
+	budget := combinedBudget(reqs)
 	e.metrics.Gauge("engine.solver.workers").Set(int64(strategy.EffectiveWorkers(e.solver, budget)))
 	plan, err := strategy.SolveContext(sctx, e.solver, combined, budget)
 	if err != nil && isDegradation(err) {
@@ -402,7 +396,7 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 		shared.End()
 		return resps, nil, nil // no feasible shared plan; responses stand alone
 	}
-	plan = topUpBlocks(sctx, e, combined, plan, blocks, workers)
+	plan = topUpBlocks(sctx, e, combined, plan, blocks, budget)
 	shared.End()
 	prop := &Proposal{
 		instance: combined, plan: plan, solver: e.solver.Name(),
@@ -431,6 +425,41 @@ func (e *Engine) EvaluateMultiContext(ctx context.Context, reqs []Request) ([]*R
 	return resps, prop, nil
 }
 
+// combinedBudget merges the participating requests' solver budgets for
+// a shared multi-query solve: the widest worker pool any request asked
+// for, and for each work counter the most permissive bound — any
+// request with an unlimited counter (0) makes the shared counter
+// unlimited, otherwise the largest allowance wins. The shared solve
+// serves every query at once, so the tightest session must not starve
+// its peers' planning.
+func combinedBudget(reqs []Request) strategy.Budget {
+	var b strategy.Budget
+	for i, req := range reqs {
+		if req.Workers > b.Workers {
+			b.Workers = req.Workers
+		}
+		b.MaxNodes = mergeLimit(b.MaxNodes, req.MaxNodes, i == 0)
+		b.MaxPivots = mergeLimit(b.MaxPivots, req.MaxPivots, i == 0)
+		b.MaxSteps = mergeLimit(b.MaxSteps, req.MaxSteps, i == 0)
+	}
+	return b
+}
+
+// mergeLimit folds one request's work-counter bound into the running
+// shared bound: 0 means unlimited and absorbs everything.
+func mergeLimit(acc, next int, first bool) int {
+	if first {
+		return next
+	}
+	if acc == 0 || next == 0 {
+		return 0
+	}
+	if next > acc {
+		return next
+	}
+	return acc
+}
+
 // multiAuditKey picks the audit identity for a multi-query event: the
 // first request whose response wanted improvement.
 func multiAuditKey(reqs []Request, resps []*Response) (user, purpose, query string) {
@@ -452,7 +481,7 @@ type queryBlock struct{ first, count, need int }
 // topUpBlocks ensures every query block meets its own need under the
 // combined plan; blocks that fall short are re-solved locally starting
 // from the combined confidences, then merged (max per tuple).
-func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock, workers int) *strategy.Plan {
+func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, plan *strategy.Plan, blocks []queryBlock, budget strategy.Budget) *strategy.Plan {
 	assign := func(p []float64) lineage.Assignment {
 		idx := map[lineage.Var]int{}
 		for i, b := range combined.Base {
@@ -497,7 +526,7 @@ func topUpBlocks(ctx context.Context, e *Engine, combined *strategy.Instance, pl
 		// A block solve cut short may still carry an anytime incumbent:
 		// salvage it (the merged plan only improves) and record that the
 		// result is partial, instead of discarding it with the error.
-		sp, err := strategy.SolveContext(ctx, e.solver, sub, strategy.Budget{Workers: workers})
+		sp, err := strategy.SolveContext(ctx, e.solver, sub, budget)
 		if sp != nil {
 			if err != nil || sp.Partial {
 				partial = true

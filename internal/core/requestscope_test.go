@@ -1,0 +1,173 @@
+package core
+
+// Regression tests for request-scoped engine behavior under concurrent
+// sessions (the pcqed server shares ONE engine): solver budgets arrive
+// per request instead of per process, span attributes charge a request
+// with its own cache work only, and a canceled context (a disconnected
+// client) stops the lineage phase instead of riding it to completion.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"pcqe/internal/fault"
+	"pcqe/internal/strategy"
+)
+
+func TestRequestSolverBudgetValidation(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	for _, req := range []Request{
+		{User: "sue", Query: ventureQuery, Purpose: "analysis", MaxNodes: -1},
+		{User: "sue", Query: ventureQuery, Purpose: "analysis", MaxPivots: -2},
+		{User: "sue", Query: ventureQuery, Purpose: "analysis", MaxSteps: -3},
+	} {
+		if _, err := e.Evaluate(req); err == nil {
+			t.Fatalf("negative solver budget %+v accepted", req)
+		}
+	}
+}
+
+// TestRequestSolverBudgetThreadsToSolver pins that Request.MaxSteps
+// reaches the strategy layer: a one-step allowance cannot complete the
+// venture improvement plan, so the response must degrade with a typed
+// *strategy.BudgetExceededError naming the steps resource.
+func TestRequestSolverBudgetThreadsToSolver(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	req := Request{
+		User: "mark", Query: ventureQuery, Purpose: "investment",
+		MinFraction: 1.0, MaxSteps: 1,
+	}
+	resp, err := e.Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded == nil {
+		t.Fatal("MaxSteps=1 did not degrade improvement planning; request budget not threaded to the solver")
+	}
+	var bx *strategy.BudgetExceededError
+	if !errors.As(resp.Degraded, &bx) {
+		t.Fatalf("Degraded = %v, want *strategy.BudgetExceededError", resp.Degraded)
+	}
+	if bx.Resource != strategy.ResourceSteps {
+		t.Fatalf("exhausted resource = %q, want %q", bx.Resource, strategy.ResourceSteps)
+	}
+	// An unbudgeted request on the same engine still solves in full:
+	// the budget is request state, not engine state.
+	resp, err = e.Evaluate(Request{User: "mark", Query: ventureQuery, Purpose: "investment", MinFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded != nil || resp.Proposal == nil {
+		t.Fatalf("unbudgeted follow-up degraded=%v proposal=%v", resp.Degraded, resp.Proposal)
+	}
+}
+
+// TestSpanAttrsAreRequestScoped runs many identical evaluations
+// concurrently against one engine and asserts every response's span
+// attributes account for exactly that request's cache activity. Before
+// the per-call attribution fix the engine computed these attributes as
+// before/after deltas of the process-wide cache counters, so one
+// request's span absorbed every concurrent session's hits and pivots.
+func TestSpanAttrsAreRequestScoped(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	const goroutines = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := e.Evaluate(Request{User: "sue", Query: ventureQuery, Purpose: "analysis"})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				eval := resp.Timings.Find("eval")
+				if got := eval.Attr("plan_cache_hits") + eval.Attr("plan_cache_misses"); got != 1 {
+					errCh <- fmt.Errorf("plan cache attribution: hits+misses = %d, want exactly 1 per request", got)
+					return
+				}
+				lin := resp.Timings.Find("lineage")
+				rows := lin.Attr("rows")
+				if got := lin.Attr("conf_cache_hits") + lin.Attr("conf_cache_misses"); got != rows {
+					errCh <- fmt.Errorf("conf cache attribution: hits+misses = %d, want rows = %d", got, rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLineagePhaseHonorsCancellation pins the disconnected-client
+// contract: a context canceled while the engine is computing result
+// confidences must abort the request with the context error instead of
+// finishing the #P-hard lineage phase for a caller that is gone.
+func TestLineagePhaseHonorsCancellation(t *testing.T) {
+	e := newVentureEngine(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer fault.Reset()
+	fault.Register("core.lineage.row", func() { cancel() })
+	fault.Enable()
+	resp, err := e.EvaluateContext(ctx, Request{User: "sue", Query: ventureQuery, Purpose: "analysis"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if resp != nil {
+		t.Fatalf("canceled lineage phase still produced a response: %v", resp)
+	}
+}
+
+func TestAuditEventKindJSONRoundTrip(t *testing.T) {
+	for k := AuditEvaluate; k <= AuditRollback; k++ {
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + k.String() + `"`; string(data) != want {
+			t.Fatalf("marshal %v = %s, want %s", k, data, want)
+		}
+		var back AuditEventKind
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v → %v", k, back)
+		}
+	}
+	if _, err := json.Marshal(AuditEventKind(99)); err == nil {
+		t.Fatal("unknown kind marshaled without error")
+	}
+	var k AuditEventKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &k); err == nil {
+		t.Fatal("unknown kind name unmarshaled without error")
+	}
+	// A journaled event round-trips with its kind readable by name, not
+	// as a bare iota ordinal.
+	ev := AuditEvent{Seq: 7, Kind: AuditDegrade, User: "mark", Detail: "deadline"}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Kind":"degrade"`) {
+		t.Fatalf("event JSON carries no kind name: %s", data)
+	}
+	var back AuditEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != AuditDegrade || back.Seq != 7 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

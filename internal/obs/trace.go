@@ -127,6 +127,23 @@ func (s *Span) Attr(key string) int64 {
 	return s.attrs[key]
 }
 
+// Attrs returns a copy of all recorded attributes (nil when none).
+func (s *Span) Attrs() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.attrs))
+	for k, v := range s.attrs {
+		out[k] = v
+	}
+	return out
+}
+
 // SetStatus records a status note, e.g. the cause of a degraded solve.
 func (s *Span) SetStatus(msg string) {
 	if s == nil {
@@ -155,6 +172,20 @@ func (s *Span) Children() []*Span {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]*Span(nil), s.children...)
+}
+
+// Adopt attaches an already-running (or ended) span as a child of s.
+// It grafts a span tree produced by another component under an outer
+// request span — e.g. the engine's per-request tree under an HTTP
+// handler's span — so one tree tells the whole request's story. No-op
+// when s or child is nil; adopting s into itself is refused.
+func (s *Span) Adopt(child *Span) {
+	if s == nil || child == nil || s == child {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
 }
 
 // Find returns the first span named name in the subtree rooted at s

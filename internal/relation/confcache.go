@@ -173,6 +173,17 @@ func (cc *ConfidenceCache) Confidence(t *Tuple) float64 {
 // snapshots (SnapshotAt behind the latest commit) bypass the cache:
 // entries are keyed on the current epoch only.
 func (cc *ConfidenceCache) ConfidenceAt(t *Tuple, snap *Snapshot) float64 {
+	return cc.ConfidenceAtAcc(t, snap, nil)
+}
+
+// ConfidenceAtAcc is ConfidenceAt, additionally accumulating this
+// call's counter deltas into acc (nil-safe). Callers that attribute
+// cache behavior to one request (per-phase span attributes) need the
+// per-call deltas: the cache-wide Stats() counters advance for every
+// concurrent session, so a before/after difference around one request
+// charges it with other sessions' rows and pivots. Historical reads
+// bypass the cache and accumulate nothing, matching Stats().
+func (cc *ConfidenceCache) ConfidenceAtAcc(t *Tuple, snap *Snapshot, acc *ConfCacheStats) float64 {
 	if snap.Historical() {
 		_, p, _ := evalClassified(t.Lineage, snap)
 		return p
@@ -184,6 +195,10 @@ func (cc *ConfidenceCache) ConfidenceAt(t *Tuple, snap *Snapshot) float64 {
 		cc.stats.Hits++
 		cc.stats.Rows[e.class]++
 		cc.mu.Unlock()
+		if acc != nil {
+			acc.Hits++
+			acc.Rows[e.class]++
+		}
 		return e.p
 	}
 	cc.mu.Unlock()
@@ -204,6 +219,12 @@ func (cc *ConfidenceCache) ConfidenceAt(t *Tuple, snap *Snapshot) float64 {
 	}
 	cc.entries[key] = confEntry{epoch: epoch, p: p, class: class, expr: t.Lineage, vars: t.Lineage.Vars()}
 	cc.mu.Unlock()
+	if acc != nil {
+		acc.Misses++
+		acc.Rows[class]++
+		acc.Evals[class]++
+		acc.Pivots[class] += pivots
+	}
 	return p
 }
 

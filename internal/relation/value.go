@@ -15,7 +15,9 @@
 package relation
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -126,6 +128,72 @@ func (v Value) String() string {
 		return v.s
 	}
 	return "?"
+}
+
+// MarshalJSON renders the value as its native JSON counterpart: NULL
+// as null, booleans, integers and strings as themselves. Without this
+// a Value marshals as "{}" (every field is unexported), which silently
+// discards the payload of any row serialized to a wire client. REAL
+// values need one carve-out: JSON has no NaN or ±Inf literal, and
+// encoding/json fails the whole document on them, so non-finite floats
+// marshal as their quoted render ("NaN", "+Inf", "-Inf") — lossless to
+// a reader, and one degenerate cell cannot poison an entire response.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.typ {
+	case TypeNull:
+		return []byte("null"), nil
+	case TypeBool:
+		if v.b {
+			return []byte("true"), nil
+		}
+		return []byte("false"), nil
+	case TypeInt:
+		return strconv.AppendInt(nil, v.i, 10), nil
+	case TypeFloat:
+		if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+			return strconv.AppendQuote(nil, v.String()), nil
+		}
+		return strconv.AppendFloat(nil, v.f, 'g', -1, 64), nil
+	case TypeString:
+		return json.Marshal(v.s)
+	}
+	return nil, fmt.Errorf("relation: cannot marshal value of unknown type %d", uint8(v.typ))
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, typing by JSON shape:
+// null, booleans and strings map directly; numbers become INTEGER when
+// they are integral literals (no fraction or exponent) and REAL
+// otherwise. The non-finite carve-out is intentionally one-way — a
+// quoted "NaN" decodes as TEXT, since a reader cannot tell it from a
+// genuine string; wire clients that care keep the column type.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return fmt.Errorf("relation: unmarshaling value: %w", err)
+	}
+	switch x := raw.(type) {
+	case nil:
+		*v = Null()
+	case bool:
+		*v = Bool(x)
+	case string:
+		*v = String_(x)
+	case json.Number:
+		if i, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			*v = Int(i)
+			return nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return fmt.Errorf("relation: unmarshaling number %q: %w", x.String(), err)
+		}
+		*v = Float(f)
+	default:
+		return fmt.Errorf("relation: cannot unmarshal %s into a scalar value", data)
+	}
+	return nil
 }
 
 // Key returns a string usable as a map key that distinguishes values of

@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"encoding/json"
+	"math"
 	"testing"
 )
 
@@ -156,5 +158,45 @@ func TestTypeString(t *testing.T) {
 		if typ.String() != want {
 			t.Errorf("%d.String() = %q", typ, typ.String())
 		}
+	}
+}
+
+func TestValueMarshalJSON(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Null(), `null`},
+		{Bool(true), `true`},
+		{Bool(false), `false`},
+		{Int(-42), `-42`},
+		{Float(2.5), `2.5`},
+		{String_(`say "hi"`), `"say \"hi\""`},
+		// JSON has no NaN/Inf literal; non-finite REALs must not fail
+		// the whole document — they marshal as their quoted render.
+		{Float(math.NaN()), `"NaN"`},
+		{Float(math.Inf(1)), `"+Inf"`},
+		{Float(math.Inf(-1)), `"-Inf"`},
+	} {
+		data, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", tc.v, err)
+		}
+		if string(data) != tc.want {
+			t.Errorf("marshal %v = %s, want %s", tc.v, data, tc.want)
+		}
+	}
+	// Values inside a row marshal by payload, not as "{}" (the zero
+	// behavior for a struct of unexported fields).
+	row := []Value{Int(7), String_("acme")}
+	data, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `[7,"acme"]` {
+		t.Errorf("row JSON = %s", data)
+	}
+	if _, err := json.Marshal(Value{typ: Type(99)}); err == nil {
+		t.Error("unknown type marshaled without error")
 	}
 }

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"pcqe/internal/fault"
+)
+
+// TestClientDisconnectMidLineage pins the disconnected-client contract
+// end to end: a client that drops its HTTP connection while the engine
+// is inside the #P-hard lineage phase must make the handler goroutine
+// return promptly (the engine polls the request context), the
+// abandonment must be counted, and no goroutine may be left burning
+// the shared worker pool.
+func TestClientDisconnectMidLineage(t *testing.T) {
+	s := newVentureServer(t, Config{WorkerPool: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	token := handshake(t, ts, "sue", "analysis")
+
+	baseline := runtime.NumGoroutine()
+
+	// The fault probe fires at the first lineage row; hold the request
+	// there until the client has vanished.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer fault.Reset()
+	fault.Register("core.lineage.row", func() {
+		close(entered)
+		<-release
+	})
+	fault.Enable()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, err := json.Marshal(QueryRequest{Query: ventureQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the lineage phase")
+	}
+	cancel() // the client hangs up mid-evaluation
+	if err := <-clientDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+	// Give the server's background connection read a moment to notice
+	// the close and cancel the request context before the engine's next
+	// poll (the propagation is asynchronous).
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	// The handler noticed the disconnect: the abandonment counter ticks
+	// and the worker slot comes back (a follow-up query succeeds).
+	deadline := time.After(5 * time.Second)
+	for s.metrics.Counter("server.requests.abandoned").Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("abandoned request was never counted")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	fault.Reset()
+	var wr WireResponse
+	if code := do(t, ts, http.MethodPost, "/v1/query", token, QueryRequest{Query: ventureQuery}, &wr); code != http.StatusOK {
+		t.Fatalf("follow-up query: status %d — the worker slot leaked", code)
+	}
+
+	// No goroutine leak: the pool settles back to (about) the baseline.
+	// A few runtime/httptest goroutines come and go, so allow slack.
+	var now int
+	for i := 0; i < 100; i++ {
+		now = runtime.NumGoroutine()
+		if now <= baseline+3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: baseline %d, now %d — handler leaked", baseline, now)
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pcqe/internal/core"
+)
+
+// FlushJournal writes the audit log to path as JSON Lines — one event
+// per line, in Seq order, kinds serialized by name (stable across
+// releases; the iota ordinals are not). The write is atomic: a temp
+// file in the target directory is fsynced and renamed over path, so a
+// crash mid-flush leaves either the previous journal or the new one,
+// never a torn file. A nil log flushes an empty journal.
+func FlushJournal(log *core.AuditLog, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: creating journal temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if log != nil {
+		for _, ev := range log.Events() {
+			if err := enc.Encode(ev); err != nil {
+				tmp.Close()
+				return fmt.Errorf("server: encoding audit event #%d: %w", ev.Seq, err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: flushing journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: syncing journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: closing journal temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("server: publishing journal: %w", err)
+	}
+	return nil
+}
+
+// ReadJournal loads a flushed journal back, verifying the Seq sequence
+// is gap-free from 1 — the property that makes the journal evidence
+// rather than a sample. It is the read side of FlushJournal, used by
+// tests and by offline audit tooling.
+func ReadJournal(path string) ([]core.AuditEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening journal: %w", err)
+	}
+	defer f.Close()
+	var events []core.AuditEvent
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for dec.More() {
+		var ev core.AuditEvent
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("server: decoding journal line %d: %w", len(events)+1, err)
+		}
+		if ev.Seq != len(events)+1 {
+			return nil, fmt.Errorf("server: journal gap: line %d carries seq %d", len(events)+1, ev.Seq)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

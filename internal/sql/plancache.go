@@ -96,22 +96,34 @@ func (pc *PlanCache) QueryDetailed(cat *relation.Catalog, query string) ([]*rela
 // pinned to the snapshot, so concurrent commits can neither invalidate
 // the answer mid-run nor leak newer rows into it.
 func (pc *PlanCache) QueryDetailedSnap(snap *relation.Snapshot, query string) ([]*relation.Tuple, *relation.Schema, *PlanInfo, error) {
+	rows, schema, info, _, err := pc.QueryDetailedSnapHit(snap, query)
+	return rows, schema, info, err
+}
+
+// QueryDetailedSnapHit is QueryDetailedSnap, additionally reporting
+// whether this call was served from the cache. Callers that attribute
+// cache behavior to one request (span attributes) need the per-call
+// flag: the process-wide Stats() counters advance for every concurrent
+// session, so a before/after delta around one call misattributes other
+// sessions' work. Historical (time-travel) reads bypass the cache and
+// report a miss.
+func (pc *PlanCache) QueryDetailedSnapHit(snap *relation.Snapshot, query string) ([]*relation.Tuple, *relation.Schema, *PlanInfo, bool, error) {
 	stmt, err := Parse(query)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, false, err
 	}
 	if snap.Historical() {
 		// Time-travel reads bypass the cache: a historical snapshot has
 		// no epoch counters to validate an entry against.
 		op, info, err := PlanDetailedAt(snap.Catalog(), stmt, snap.Version())
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, false, err
 		}
 		rows, err := relation.RunAt(op, snap.Version())
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, false, err
 		}
-		return rows, op.Schema(), info, nil
+		return rows, op.Schema(), info, false, nil
 	}
 	shape, lits := fingerprintStmt(stmt)
 	key := cacheKey(shape, lits)
@@ -120,7 +132,7 @@ func (pc *PlanCache) QueryDetailedSnap(snap *relation.Snapshot, query string) ([
 	if !cached {
 		op, info, err := PlanDetailedAt(snap.Catalog(), stmt, snap.Version())
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, false, err
 		}
 		entry = &planEntry{
 			key: key, op: op, schema: op.Schema(), info: info,
@@ -133,9 +145,9 @@ func (pc *PlanCache) QueryDetailedSnap(snap *relation.Snapshot, query string) ([
 	rows, err := relation.RunAt(entry.op, snap.Version())
 	pc.release(entry, cached, err == nil)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, cached, err
 	}
-	return rows, entry.schema, entry.info, nil
+	return rows, entry.schema, entry.info, cached, nil
 }
 
 // checkout looks the key up and, on a valid idle hit, marks the entry
